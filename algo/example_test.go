@@ -1,0 +1,51 @@
+package algo_test
+
+import (
+	"fmt"
+
+	"blaze/algo"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/graph"
+	"blaze/internal/ssd"
+)
+
+// ExampleBFS runs the paper's Algorithm 1 on the Blaze engine over a small
+// chain graph.
+func ExampleBFS() {
+	ctx := exec.NewSim()
+	c := graph.Build(16,
+		[]uint32{0, 1, 2},
+		[]uint32{1, 2, 3})
+	g := engine.FromCSR(ctx, "chain", c, 1, ssd.OptaneSSD, nil, nil)
+	sys := algo.NewBlaze(ctx, engine.DefaultConfig(c.E))
+	var parent []int64
+	ctx.Run("main", func(p exec.Proc) {
+		parent = algo.BFS(sys, p, g, 0)
+	})
+	fmt.Println(parent[:4])
+	// Output:
+	// [0 0 1 2]
+}
+
+// ExampleSpMV multiplies the adjacency matrix with the all-ones vector,
+// yielding each vertex's in-degree.
+func ExampleSpMV() {
+	ctx := exec.NewSim()
+	c := graph.Build(16,
+		[]uint32{0, 1, 2, 3},
+		[]uint32{5, 5, 5, 0})
+	g := engine.FromCSR(ctx, "star", c, 1, ssd.OptaneSSD, nil, nil)
+	sys := algo.NewBlaze(ctx, engine.DefaultConfig(c.E))
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	var y []float64
+	ctx.Run("main", func(p exec.Proc) {
+		y = algo.SpMV(sys, p, g, x)
+	})
+	fmt.Println(y[5], y[0])
+	// Output:
+	// 3 1
+}

@@ -1,0 +1,192 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blaze/gen"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/graph"
+	"blaze/internal/ssd"
+)
+
+// buildRandom constructs a small random graph from quick-generated raw
+// bytes, deterministic in its inputs.
+func buildRandom(seed uint64, nEdges int) *graph.CSR {
+	n := uint32(64 + seed%512)
+	r := gen.NewRNG(seed)
+	src := make([]uint32, nEdges)
+	dst := make([]uint32, nEdges)
+	for i := range src {
+		src[i] = uint32(r.Intn(int(n)))
+		dst[i] = uint32(r.Intn(int(n)))
+	}
+	return graph.Build(n, src, dst)
+}
+
+func blazeOn(ctx exec.Context, c *graph.CSR) (*Blaze, *engine.Graph, *engine.Graph) {
+	out := engine.FromCSR(ctx, "q", c, 1, ssd.OptaneSSD, nil, nil)
+	in := engine.FromCSR(ctx, "q.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil)
+	cfg := engine.DefaultConfig(c.E)
+	cfg.ScatterProcs, cfg.GatherProcs = 2, 2
+	return NewBlaze(ctx, cfg), out, in
+}
+
+// TestBFSPropertyValidForest: for random graphs and sources, the parent
+// array is a valid BFS forest (checked with CheckParents against a serial
+// reference).
+func TestBFSPropertyValidForest(t *testing.T) {
+	f := func(seed uint16, srcRaw uint16) bool {
+		c := buildRandom(uint64(seed), 800)
+		source := uint32(srcRaw) % c.V
+		ctx := exec.NewSim()
+		sys, g, _ := blazeOn(ctx, c)
+		var parent []int64
+		ctx.Run("main", func(p exec.Proc) {
+			parent = BFS(sys, p, g, source)
+		})
+		_, ok := CheckParents(c, source, parent, RefBFSDepth(c, source))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWCCPropertyMatchesUnionFind on random graphs.
+func TestWCCPropertyMatchesUnionFind(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := buildRandom(uint64(seed)+7, 500)
+		ctx := exec.NewSim()
+		sys, g, in := blazeOn(ctx, c)
+		var ids []uint32
+		ctx.Run("main", func(p exec.Proc) {
+			ids = WCC(sys, p, g, in)
+		})
+		return SamePartition(ids, RefWCC(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpMVLinearity: SpMV is a linear operator — y(a*x1 + x2) must equal
+// a*y(x1) + y(x2) within floating tolerance.
+func TestSpMVLinearity(t *testing.T) {
+	c := buildRandom(99, 2000)
+	run := func(x []float64) []float64 {
+		ctx := exec.NewSim()
+		sys, g, _ := blazeOn(ctx, c)
+		var y []float64
+		ctx.Run("main", func(p exec.Proc) {
+			y = SpMV(sys, p, g, x)
+		})
+		return y
+	}
+	r := gen.NewRNG(3)
+	x1 := make([]float64, c.V)
+	x2 := make([]float64, c.V)
+	comb := make([]float64, c.V)
+	const a = 2.5
+	for i := range x1 {
+		x1[i] = float64(r.Intn(100))
+		x2[i] = float64(r.Intn(100))
+		comb[i] = a*x1[i] + x2[i]
+	}
+	y1, y2, yc := run(x1), run(x2), run(comb)
+	for v := range yc {
+		want := a*y1[v] + y2[v]
+		if math.Abs(yc[v]-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Fatalf("linearity violated at %d: %g vs %g", v, yc[v], want)
+		}
+	}
+}
+
+// TestPageRankMassBound: with damping 0.85 the delta-series rank vector's
+// L1 mass is bounded by sum_k 0.85^k = 1/(1-0.85) times the initial mass.
+func TestPageRankMassBound(t *testing.T) {
+	c := buildRandom(123, 3000)
+	ctx := exec.NewSim()
+	sys, g, _ := blazeOn(ctx, c)
+	var rank []float64
+	ctx.Run("main", func(p exec.Proc) {
+		rank = PageRank(sys, p, g, 1e-6, 40)
+	})
+	var mass float64
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatalf("negative rank %g", r)
+		}
+		mass += r
+	}
+	if mass > 1/(1-0.85)+1e-9 {
+		t.Errorf("rank mass %g exceeds geometric bound %g", mass, 1/(1-0.85))
+	}
+	if mass < 1 {
+		t.Errorf("rank mass %g below initial mass 1", mass)
+	}
+}
+
+// TestBCPropertySumOfDependencies: the sum of Brandes dependencies from a
+// source equals the sum over reachable vertices w != s of (number of
+// vertices on shortest s-w paths... ) — we verify against the serial
+// reference on random graphs instead of a closed form.
+func TestBCPropertyMatchesReference(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := buildRandom(uint64(seed)+31, 400)
+		ctx := exec.NewSim()
+		sys, g, in := blazeOn(ctx, c)
+		var dep []float64
+		ctx.Run("main", func(p exec.Proc) {
+			dep = BC(sys, p, g, in, 0)
+		})
+		ref := RefBC(c, 0)
+		for v := range dep {
+			if math.Abs(dep[v]-ref[v]) > 1e-6*math.Max(1, math.Abs(ref[v])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFSOnSelfLoopsAndIsolated: degenerate structures.
+func TestBFSDegenerateGraphs(t *testing.T) {
+	// Self-loop at the source plus an isolated vertex.
+	c := graph.Build(16, []uint32{0, 0, 1}, []uint32{0, 1, 1})
+	ctx := exec.NewSim()
+	sys, g, _ := blazeOn(ctx, c)
+	var parent []int64
+	ctx.Run("main", func(p exec.Proc) {
+		parent = BFS(sys, p, g, 0)
+	})
+	if parent[0] != 0 || parent[1] != 0 {
+		t.Errorf("parents = %v", parent[:2])
+	}
+	for v := 2; v < 16; v++ {
+		if parent[v] != -1 {
+			t.Errorf("isolated vertex %d has parent %d", v, parent[v])
+		}
+	}
+}
+
+// TestWCCSingleVertexComponents: a graph with no edges is all singletons.
+func TestWCCNoEdges(t *testing.T) {
+	c := graph.Build(32, nil, nil)
+	ctx := exec.NewSim()
+	sys, g, in := blazeOn(ctx, c)
+	var ids []uint32
+	ctx.Run("main", func(p exec.Proc) {
+		ids = WCC(sys, p, g, in)
+	})
+	for v, id := range ids {
+		if id != uint32(v) {
+			t.Errorf("vertex %d labeled %d", v, id)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package algo
+
+import (
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+)
+
+// BFS runs breadth-first search from src (paper Algorithm 1) and returns
+// the parent array: Parent[v] = predecessor of v in the BFS tree,
+// Parent[src] = src, and -1 for unreachable vertices.
+func BFS(sys System, p exec.Proc, g *engine.Graph, src uint32) []int64 {
+	n := g.NumVertices()
+	parent := make([]int64, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int64(src)
+	f := frontier.Single(n, src)
+	fns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return float64(s) },
+		Gather: func(d uint32, v float64) bool {
+			if parent[d] == -1 {
+				parent[d] = int64(v)
+				return true
+			}
+			return false
+		},
+		Cond: func(d uint32) bool { return parent[d] == -1 },
+	}
+	for !f.Empty() {
+		f = sys.EdgeMap(p, g, f, fns, true)
+		sys.EndIteration(p)
+	}
+	return parent
+}
+
+// AlgoMemoryBFS returns the algorithm-array bytes BFS allocates (Fig. 12).
+func AlgoMemoryBFS(n uint32) int64 { return int64(n) * 8 }
+
+// PageRank runs the PageRank-delta variant (paper Algorithm 2): vertices
+// stay active only while their rank keeps changing by more than eps
+// relative to their current rank. It returns the rank vector (proportional
+// to true PageRank; normalize before comparing). maxIter bounds the
+// iteration count (0 = until convergence).
+func PageRank(sys System, p exec.Proc, g *engine.Graph, eps float64, maxIter int) []float64 {
+	n := g.NumVertices()
+	const damping = 0.85
+	rank := make([]float64, n)
+	nghSum := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range delta {
+		delta[i] = 1.0 / float64(n)
+		rank[i] = delta[i]
+	}
+	f := frontier.All(n)
+	fns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 {
+			return delta[s] / float64(g.CSR.Degree(s))
+		},
+		Gather: func(d uint32, v float64) bool {
+			nghSum[d] += v
+			return true
+		},
+		Cond: func(d uint32) bool { return true },
+	}
+	applyFilter := func(i uint32) bool {
+		delta[i] = nghSum[i] * damping
+		nghSum[i] = 0
+		if abs(delta[i]) > eps*rank[i] {
+			rank[i] += delta[i]
+			return true
+		}
+		delta[i] = 0
+		return false
+	}
+	for iter := 0; !f.Empty() && (maxIter == 0 || iter < maxIter); iter++ {
+		receivers := sys.EdgeMap(p, g, f, fns, true)
+		f = sys.VertexMap(p, receivers, applyFilter)
+		sys.EndIteration(p)
+	}
+	return rank
+}
+
+// AlgoMemoryPageRank returns PageRank-delta's three float arrays (Fig. 12).
+func AlgoMemoryPageRank(n uint32) int64 { return 3 * int64(n) * 8 }
+
+// PageRankOneIteration runs exactly one EdgeMap+VertexMap round, the unit
+// the paper uses when comparing against Graphene (which lacks selective
+// scheduling for PR).
+func PageRankOneIteration(sys System, p exec.Proc, g *engine.Graph) []float64 {
+	return PageRank(sys, p, g, 1e-9, 1)
+}
+
+// WCC computes weakly connected components with shortcutting label
+// propagation (paper Algorithm 3) on the graph viewed as undirected, which
+// is why it propagates over both the forward graph outG and its transpose
+// inG. It returns a label array where two vertices have equal labels iff
+// they are weakly connected.
+func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) []uint32 {
+	n := outG.NumVertices()
+	ids := make([]uint32, n)
+	prev := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+		prev[i] = uint32(i)
+	}
+	fns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return float64(ids[s]) },
+		Gather: func(d uint32, v float64) bool {
+			if uint32(v) < ids[d] {
+				ids[d] = uint32(v)
+				return true
+			}
+			return false
+		},
+		Cond: func(d uint32) bool { return true },
+	}
+	applyFilter := func(i uint32) bool {
+		// Shortcutting: pointer-jump the label chain.
+		if id := ids[ids[i]]; ids[i] != id {
+			ids[i] = id
+		}
+		if prev[i] != ids[i] {
+			prev[i] = ids[i]
+			return true
+		}
+		return false
+	}
+	f := frontier.All(n)
+	for !f.Empty() {
+		a := sys.EdgeMap(p, outG, f, fns, true)
+		b := sys.EdgeMap(p, inG, f, fns, true)
+		a.Merge(b)
+		a.Merge(f) // shortcutting must also re-check prior frontier members
+		f = sys.VertexMap(p, a, applyFilter)
+		sys.EndIteration(p)
+	}
+	return ids
+}
+
+// AlgoMemoryWCC returns WCC's two ID arrays (Fig. 12).
+func AlgoMemoryWCC(n uint32) int64 { return 2 * int64(n) * 4 }
+
+// SpMV multiplies the graph's adjacency matrix (edges s→d as A[d][s] = 1,
+// multi-edges accumulate) with the vector x: y[d] = Σ_{s→d} x[s]. One full
+// EdgeMap pass, as in the paper's evaluation.
+func SpMV(sys System, p exec.Proc, g *engine.Graph, x []float64) []float64 {
+	n := g.NumVertices()
+	y := make([]float64, n)
+	fns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return x[s] },
+		Gather: func(d uint32, v float64) bool {
+			y[d] += v
+			return false
+		},
+		Cond: func(d uint32) bool { return true },
+	}
+	sys.EdgeMap(p, g, frontier.All(n), fns, false)
+	sys.EndIteration(p)
+	return y
+}
+
+// AlgoMemorySpMV returns SpMV's two vectors (Fig. 12).
+func AlgoMemorySpMV(n uint32) int64 { return 2 * int64(n) * 8 }
+
+// BC computes single-source betweenness centrality contributions from src
+// using Brandes' algorithm (forward BFS accumulating shortest-path counts,
+// then reverse dependency propagation over the transpose graph). It
+// returns the dependency score of every vertex. Like the paper's
+// implementation it stores one frontier per BFS level, which is why BC has
+// the largest memory footprint (§V-F).
+func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) []float64 {
+	n := outG.NumVertices()
+	depth := make([]int32, n)
+	sigma := make([]float64, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	sigma[src] = 1
+
+	var levels []*frontier.VertexSubset
+	f := frontier.Single(n, src)
+	round := int32(0)
+	for !f.Empty() {
+		levels = append(levels, f)
+		round++
+		r := round
+		f = sys.EdgeMap(p, outG, f, EdgeFuncs{
+			Scatter: func(s, d uint32) float64 { return sigma[s] },
+			Gather: func(d uint32, v float64) bool {
+				if depth[d] == -1 {
+					depth[d] = r
+					sigma[d] = v
+					return true
+				}
+				if depth[d] == r {
+					sigma[d] += v
+				}
+				return false
+			},
+			Cond: func(d uint32) bool { return depth[d] == -1 || depth[d] == round },
+		}, true)
+		sys.EndIteration(p)
+	}
+
+	delta := make([]float64, n)
+	for l := len(levels) - 1; l >= 1; l-- {
+		w := levels[l]
+		lvl := int32(l)
+		sys.EdgeMap(p, inG, w, EdgeFuncs{
+			Scatter: func(s, d uint32) float64 { return (1 + delta[s]) / sigma[s] },
+			Gather: func(d uint32, v float64) bool {
+				if depth[d] == lvl-1 {
+					delta[d] += sigma[d] * v
+				}
+				return false
+			},
+			Cond: func(d uint32) bool { return depth[d] == lvl-1 },
+		}, false)
+		sys.EndIteration(p)
+	}
+	return delta
+}
+
+// AlgoMemoryBC returns BC's arrays plus the per-level frontier estimate
+// (one bit per vertex per level in the worst dense case; Fig. 12 and the
+// paper's §V-F note that this makes BC the most memory-hungry query).
+func AlgoMemoryBC(n uint32, numLevels int) int64 {
+	return int64(n)*(4+8+8) + int64(numLevels)*int64(n)/8
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

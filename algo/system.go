@@ -1,0 +1,91 @@
+// Package algo implements the paper's five evaluation queries — BFS,
+// PageRank-delta, WCC (shortcutting label propagation), SpMV, and
+// Betweenness Centrality (Brandes) — against an abstract out-of-core
+// engine, so the exact same query code runs on Blaze, on its
+// synchronization-based variant, and on the FlashGraph-style and
+// Graphene-style baselines the paper analyzes.
+//
+// Values propagate as float64, which represents the vertex IDs and counts
+// the queries scatter exactly (IDs < 2^32 << 2^53).
+package algo
+
+import (
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/metrics"
+)
+
+// EdgeFuncs bundles the user functions of one EdgeMap call.
+type EdgeFuncs struct {
+	// Scatter returns the value to propagate along edge s→d.
+	Scatter func(s, d uint32) float64
+	// Gather accumulates v into d's state; returning true activates d in
+	// the output frontier. Engines guarantee at most one concurrent
+	// Gather per destination vertex.
+	Gather func(d uint32, v float64) bool
+	// Cond prunes propagation: Scatter runs only when Cond(d) is true.
+	Cond func(d uint32) bool
+}
+
+// System is one out-of-core graph engine.
+type System interface {
+	Name() string
+	// EdgeMap applies fns to the edges out of frontier f on graph g,
+	// returning the output frontier when output is true.
+	EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) *frontier.VertexSubset
+	// VertexMap applies fn to the frontier in memory.
+	VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset
+	// EndIteration marks an algorithm iteration boundary (used for
+	// per-iteration IO accounting, Figure 3).
+	EndIteration(p exec.Proc)
+	// IterDeviceBytes returns per-iteration per-device read bytes
+	// recorded at EndIteration calls.
+	IterDeviceBytes() [][]int64
+}
+
+// IterLog provides the EndIteration bookkeeping shared by all systems.
+type IterLog struct {
+	Stats  *metrics.IOStats
+	epochs [][]int64
+}
+
+// EndIteration snapshots the per-device bytes since the last call.
+func (l *IterLog) EndIteration(p exec.Proc) {
+	if l.Stats == nil {
+		return
+	}
+	l.epochs = append(l.epochs, l.Stats.EndEpoch())
+}
+
+// IterDeviceBytes returns the recorded epochs.
+func (l *IterLog) IterDeviceBytes() [][]int64 { return l.epochs }
+
+// Blaze is the paper's system: the online-binning EdgeMap engine.
+type Blaze struct {
+	Ctx exec.Context
+	Cfg engine.Config
+	IterLog
+	// LastStats holds the engine stats of the most recent EdgeMap.
+	LastStats engine.Stats
+}
+
+// NewBlaze wraps the engine as a System.
+func NewBlaze(ctx exec.Context, cfg engine.Config) *Blaze {
+	return &Blaze{Ctx: ctx, Cfg: cfg, IterLog: IterLog{Stats: cfg.Stats}}
+}
+
+// Name implements System.
+func (b *Blaze) Name() string { return "blaze" }
+
+// EdgeMap implements System via the online-binning engine.
+func (b *Blaze) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) *frontier.VertexSubset {
+	out, st := engine.EdgeMap(b.Ctx, p, g, f, fns.Scatter, fns.Gather, fns.Cond, output, b.Cfg)
+	b.LastStats = st
+	return out
+}
+
+// VertexMap implements System.
+func (b *Blaze) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset {
+	return engine.VertexMap(p, f, fn, b.Cfg)
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+
+	"blaze/algo"
+	"blaze/internal/baseline/flashgraph"
+	"blaze/internal/baseline/graphene"
+	"blaze/internal/costmodel"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/metrics"
+	"blaze/internal/ssd"
+	"blaze/internal/syncvar"
+)
+
+// Queries in paper order.
+var Queries = []string{"bfs", "pr", "wcc", "spmv", "bc"}
+
+// Opts parameterizes one measured run.
+type Opts struct {
+	System string // "blaze", "sync", "flashgraph", "graphene"
+	Query  string // "bfs", "pr", "pr1", "wcc", "spmv", "bc"
+	// NumDev devices with Profile bandwidth.
+	NumDev  int
+	Profile ssd.Profile
+	// ComputeWorkers is the computation thread budget (16 in the paper).
+	ComputeWorkers int
+	// Ratio is the scatter fraction for Blaze (0 = default 0.5).
+	Ratio float64
+	// BinCount and BinSpace override Blaze's binning (0 = defaults).
+	BinCount int
+	BinSpace int64
+	// IOBufBytes overrides the IO buffer budget (0 = default 64 MB).
+	IOBufBytes int64
+	// PRIters caps PageRank iterations (0 = 15).
+	PRIters int
+	// TimelineBucketNs enables bandwidth timeline collection.
+	TimelineBucketNs int64
+	// Model overrides the cost model (zero value = Default).
+	Model *costmodel.Model
+}
+
+// Result is one measured run.
+type Result struct {
+	Opts      Opts
+	Graph     string
+	ElapsedNs int64
+	ReadBytes int64
+	Timeline  *metrics.Timeline
+	IterBytes [][]int64
+	Mem       *metrics.MemAccount
+	// AlgoBytes is the query's vertex-array footprint.
+	AlgoBytes int64
+	Levels    int // BFS/BC level count
+}
+
+// AvgBW returns the run's average read bandwidth in bytes/second — total
+// read bytes over total execution time, the paper's Figure 1/8 metric.
+func (r Result) AvgBW() float64 {
+	if r.ElapsedNs == 0 {
+		return 0
+	}
+	return float64(r.ReadBytes) / (float64(r.ElapsedNs) / 1e9)
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.NumDev == 0 {
+		o.NumDev = 1
+	}
+	if o.Profile.RandBytesPerSec == 0 {
+		o.Profile = ssd.OptaneSSD
+	}
+	if o.ComputeWorkers == 0 {
+		o.ComputeWorkers = 16
+	}
+	if o.Ratio == 0 {
+		o.Ratio = 0.5
+	}
+	if o.PRIters == 0 {
+		o.PRIters = 15
+	}
+	return o
+}
+
+// Run executes one (system, query, dataset) measurement under a fresh
+// deterministic virtual-time context and returns the result.
+func Run(d *Dataset, o Opts) Result {
+	o = o.withDefaults()
+	ctx := exec.NewSim()
+	stats := metrics.NewIOStats(maxInt(o.NumDev, 8))
+	var tl *metrics.Timeline
+	if o.TimelineBucketNs > 0 {
+		tl = metrics.NewTimeline(o.TimelineBucketNs)
+	}
+	mem := metrics.NewMemAccount()
+	out, in := d.Graphs(ctx, o.NumDev, o.Profile, stats, tl)
+	// WCC and BC traverse the transpose too and pay for both indexes;
+	// the other queries only load the forward graph.
+	if o.Query == "wcc" || o.Query == "bc" {
+		mem.Set("graph-index", d.CSR.IndexBytes()+d.Tr.IndexBytes())
+	} else {
+		mem.Set("graph-index", d.CSR.IndexBytes())
+	}
+
+	model := costmodel.Default()
+	if o.Model != nil {
+		model = *o.Model
+	}
+
+	var sys algo.System
+	switch o.System {
+	case "blaze", "sync":
+		cfg := engine.DefaultConfig(d.CSR.E).WithThreads(o.ComputeWorkers, o.Ratio)
+		cfg.Model = model
+		cfg.Stats = stats
+		cfg.Mem = mem
+		if o.BinCount > 0 {
+			cfg.BinCount = o.BinCount
+		}
+		if o.BinSpace > 0 {
+			cfg.BinSpaceBytes = o.BinSpace
+		}
+		if o.IOBufBytes > 0 {
+			cfg.IOBufferBytes = o.IOBufBytes
+		}
+		if o.System == "blaze" {
+			sys = algo.NewBlaze(ctx, cfg)
+		} else {
+			sys = syncvar.New(ctx, cfg)
+		}
+	case "flashgraph":
+		cfg := flashgraph.DefaultConfig()
+		cfg.ComputeWorkers = o.ComputeWorkers
+		cfg.Model = model
+		cfg.Stats = stats
+		// FlashGraph's page cache (1 GB on the paper's testbed) must scale
+		// with the datasets, or it would swallow the scaled graphs whole
+		// and erase the out-of-core behaviour under study.
+		if d.Preset.PaperV > 0 {
+			f := float64(d.Preset.V) / (d.Preset.PaperV * 1e6)
+			cfg.CacheBytes = int64(f * float64(1<<30))
+		}
+		sys = flashgraph.New(ctx, cfg)
+	case "graphene":
+		cfg := graphene.DefaultConfig(o.NumDev)
+		cfg.Pairs = o.ComputeWorkers / 2
+		if cfg.Pairs < 1 {
+			cfg.Pairs = 1
+		}
+		cfg.Model = model
+		cfg.Stats = stats
+		sys = graphene.New(ctx, cfg, o.Profile)
+	default:
+		panic(fmt.Sprintf("bench: unknown system %q", o.System))
+	}
+
+	res := Result{Opts: o, Graph: d.Preset.Short, Timeline: tl, Mem: mem}
+	ctx.Run("main", func(p exec.Proc) {
+		switch o.Query {
+		case "bfs":
+			parent := algo.BFS(sys, p, out, d.Start)
+			res.AlgoBytes = algo.AlgoMemoryBFS(out.NumVertices())
+			_ = parent
+		case "pr":
+			// eps keeps the frontier dense through the measured
+			// iterations, matching full-scale behaviour where PR-delta
+			// needs far more iterations to converge than the scaled
+			// datasets do.
+			algo.PageRank(sys, p, out, 1e-9, o.PRIters)
+			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
+		case "pr1":
+			algo.PageRankOneIteration(sys, p, out)
+			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
+		case "wcc":
+			algo.WCC(sys, p, out, in)
+			res.AlgoBytes = algo.AlgoMemoryWCC(out.NumVertices())
+		case "spmv":
+			x := make([]float64, out.NumVertices())
+			for i := range x {
+				x[i] = 1
+			}
+			algo.SpMV(sys, p, out, x)
+			res.AlgoBytes = algo.AlgoMemorySpMV(out.NumVertices())
+		case "bc":
+			algo.BC(sys, p, out, in, d.Start)
+			levels := len(sys.IterDeviceBytes())
+			res.Levels = levels
+			res.AlgoBytes = algo.AlgoMemoryBC(out.NumVertices(), levels)
+		default:
+			panic(fmt.Sprintf("bench: unknown query %q", o.Query))
+		}
+	})
+	res.ElapsedNs = ctx.End
+	res.ReadBytes = stats.TotalBytes()
+	res.IterBytes = sys.IterDeviceBytes()
+	mem.Set("algo-arrays", res.AlgoBytes)
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

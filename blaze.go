@@ -1,0 +1,321 @@
+// Package blaze is a Go reproduction of Blaze (Kim & Swanson, SC22), an
+// out-of-core graph processing system optimized for fast NVMe SSDs.
+//
+// Blaze processes graphs whose adjacency lives on storage while keeping
+// vertex data in memory (the semi-external model). Its EdgeMap/VertexMap
+// API (from Ligra) is extended with explicit scatter and gather functions
+// whose value flow runs through *online binning*, an atomic-free
+// scatter-gather scheme that keeps fast SSDs saturated.
+//
+// A minimal BFS:
+//
+//	rt := blaze.New(blaze.WithComputeWorkers(8))
+//	rt.Run(func(c *blaze.Ctx) {
+//	    g, _ := c.GraphFromEdges("toy", 5, []uint32{0,0,1}, []uint32{1,2,3})
+//	    parent := make([]int32, g.NumVertices())
+//	    for i := range parent { parent[i] = -1 }
+//	    parent[0] = 0
+//	    f := blaze.Single(g.NumVertices(), 0)
+//	    for !f.Empty() {
+//	        f = blaze.EdgeMap(c, g, f,
+//	            func(s, d uint32) uint32 { return s },
+//	            func(d uint32, v uint32) bool {
+//	                if parent[d] == -1 { parent[d] = int32(v); return true }
+//	                return false
+//	            },
+//	            func(d uint32) bool { return parent[d] == -1 },
+//	            true)
+//	    }
+//	})
+//
+// The Runtime can execute under two clocks: real goroutines with wall-clock
+// device pacing (the default, used by applications), or a deterministic
+// virtual-time simulation (WithSimulatedTime, used by the benchmark harness
+// to reproduce the paper's figures on arbitrary hardware).
+package blaze
+
+import (
+	"fmt"
+
+	"blaze/gen"
+	"blaze/internal/costmodel"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// Graph is a runtime graph handle: in-memory index plus device-resident
+// adjacency.
+type Graph = engine.Graph
+
+// VertexSubset is a frontier (sparse or dense, switching automatically).
+type VertexSubset = frontier.VertexSubset
+
+// NewVertexSubset returns an empty frontier over n vertices.
+func NewVertexSubset(n uint32) *VertexSubset { return frontier.NewVertexSubset(n) }
+
+// Single returns a frontier holding one vertex.
+func Single(n, v uint32) *VertexSubset { return frontier.Single(n, v) }
+
+// All returns a frontier with every vertex active.
+func All(n uint32) *VertexSubset { return frontier.All(n) }
+
+// Runtime owns the execution context, devices, and engine configuration.
+type Runtime struct {
+	ctx     exec.Context
+	cfg     engine.Config
+	profile ssd.Profile
+	numDev  int
+	stats   *metrics.IOStats
+	tl      *metrics.Timeline
+	mem     *metrics.MemAccount
+	elapsed int64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithSimulatedTime switches to the deterministic virtual-time backend.
+func WithSimulatedTime() Option {
+	return func(rt *Runtime) { rt.ctx = exec.NewSim() }
+}
+
+// WithComputeWorkers sets the computation proc count, split equally between
+// scatter and gather (the paper's default ratio).
+func WithComputeWorkers(n int) Option {
+	return func(rt *Runtime) { rt.cfg = rt.cfg.WithThreads(n, 0.5) }
+}
+
+// WithBinningRatio splits compute workers between scatter and gather
+// (scatter fraction; 0.5 = equal).
+func WithBinningRatio(ratio float64) Option {
+	return func(rt *Runtime) {
+		rt.cfg = rt.cfg.WithThreads(rt.cfg.ScatterProcs+rt.cfg.GatherProcs, ratio)
+	}
+}
+
+// WithBinCount sets the number of online bins.
+func WithBinCount(n int) Option {
+	return func(rt *Runtime) { rt.cfg.BinCount = n }
+}
+
+// WithBinSpace sets the total bin memory budget in bytes.
+func WithBinSpace(bytes int64) Option {
+	return func(rt *Runtime) { rt.cfg.BinSpaceBytes = bytes }
+}
+
+// WithIOBufferSpace sets the static IO buffer budget in bytes (default
+// 64 MB, as in the paper).
+func WithIOBufferSpace(bytes int64) Option {
+	return func(rt *Runtime) { rt.cfg.IOBufferBytes = bytes }
+}
+
+// DeviceProfile describes an SSD's read-bandwidth envelope (Table I of the
+// paper). Obtain one from OptaneSSD, NANDSSD, ZNANDSSD, or Samsung980Pro,
+// or derive a scaled one with its Scale method.
+type DeviceProfile = ssd.Profile
+
+// OptaneSSD returns the Intel Optane SSD DC P4800X profile (the paper's
+// primary fast NVMe drive).
+func OptaneSSD() DeviceProfile { return ssd.OptaneSSD }
+
+// NANDSSD returns the Intel DC S3520 profile (the paper's slow baseline).
+func NANDSSD() DeviceProfile { return ssd.NANDSSD }
+
+// ZNANDSSD returns the Samsung Z-NAND SZ983 profile.
+func ZNANDSSD() DeviceProfile { return ssd.ZNAND }
+
+// Samsung980Pro returns the Samsung 980 Pro profile.
+func Samsung980Pro() DeviceProfile { return ssd.VNAND }
+
+// WithDevices sets the device count and bandwidth profile used for graphs
+// created by this runtime (default: one Optane SSD).
+func WithDevices(n int, prof DeviceProfile) Option {
+	return func(rt *Runtime) { rt.numDev = n; rt.profile = prof }
+}
+
+// WithPageCache enables an LRU page cache of the given byte capacity that
+// persists across EdgeMap calls. The paper's Blaze has no such cache
+// (random IO-buffer eviction only) and names better eviction policies as
+// future work; enabling it closes the gap to FlashGraph on high-locality
+// graphs like sk2005 at the price of memory (see the pagecache ablation).
+func WithPageCache(bytes int64) Option {
+	return func(rt *Runtime) { rt.cfg.PageCache = pagecache.New(bytes) }
+}
+
+// WithCostModel overrides the virtual-time cost model.
+func WithCostModel(m costmodel.Model) Option {
+	return func(rt *Runtime) { rt.cfg.Model = m }
+}
+
+// WithTimeline enables bandwidth timeline collection at the given bucket
+// width in nanoseconds.
+func WithTimeline(bucketNs int64) Option {
+	return func(rt *Runtime) { rt.tl = metrics.NewTimeline(bucketNs) }
+}
+
+// New returns a Runtime. Defaults: real-time backend, one simulated Optane
+// SSD, 16 compute workers split 8/8, 1024 bins, 64 MB IO buffers.
+func New(opts ...Option) *Runtime {
+	rt := &Runtime{
+		ctx:     exec.NewReal(),
+		cfg:     engine.DefaultConfig(1 << 22),
+		profile: ssd.OptaneSSD,
+		numDev:  1,
+		mem:     metrics.NewMemAccount(),
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	rt.stats = metrics.NewIOStats(rt.numDev)
+	rt.cfg.Stats = rt.stats
+	rt.cfg.Mem = rt.mem
+	return rt
+}
+
+// Ctx is the per-run handle passed to the function given to Run. All graph
+// loading and EdgeMap/VertexMap calls must happen through it.
+type Ctx struct {
+	rt *Runtime
+	P  exec.Proc
+}
+
+// Run executes fn under the runtime's clock and records the makespan.
+func (rt *Runtime) Run(fn func(*Ctx)) {
+	rt.ctx.Run("main", func(p exec.Proc) {
+		fn(&Ctx{rt: rt, P: p})
+		rt.elapsed = p.Now()
+	})
+	if s, ok := rt.ctx.(*exec.Sim); ok {
+		rt.elapsed = s.End
+	}
+}
+
+// TotalReadBytes returns the bytes read from the devices so far.
+func (rt *Runtime) TotalReadBytes() int64 { return rt.stats.TotalBytes() }
+
+// ReadRequests returns the IO request count so far.
+func (rt *Runtime) ReadRequests() int64 { return rt.stats.Requests() }
+
+// BandwidthSeries returns the read bandwidth per timeline bucket in
+// bytes/second, or nil when WithTimeline was not set.
+func (rt *Runtime) BandwidthSeries() []float64 {
+	if rt.tl == nil {
+		return nil
+	}
+	return rt.tl.Series()
+}
+
+// MemItem is one named memory-footprint component.
+type MemItem struct {
+	Name  string
+	Bytes int64
+}
+
+// MemoryItems returns the tracked memory components (graph index, IO
+// buffers, bin space, frontier, algorithm arrays).
+func (rt *Runtime) MemoryItems() []MemItem {
+	items := rt.mem.Items()
+	out := make([]MemItem, len(items))
+	for i, it := range items {
+		out[i] = MemItem{it.Name, it.Bytes}
+	}
+	return out
+}
+
+// MemoryBytes returns the total tracked memory footprint.
+func (rt *Runtime) MemoryBytes() int64 { return rt.mem.Total() }
+
+// ElapsedNs returns the makespan of the last Run (virtual or wall ns).
+func (rt *Runtime) ElapsedNs() int64 { return rt.elapsed }
+
+// AvgReadBandwidth returns total read bytes divided by the last Run's
+// makespan, in bytes/second — the paper's Figure 1/8 metric.
+func (rt *Runtime) AvgReadBandwidth() float64 {
+	if rt.elapsed == 0 {
+		return 0
+	}
+	return float64(rt.stats.TotalBytes()) / (float64(rt.elapsed) / 1e9)
+}
+
+// MaxReadBandwidth returns the aggregate device bandwidth (the red line).
+func (rt *Runtime) MaxReadBandwidth() float64 {
+	return rt.profile.RandBytesPerSec * float64(rt.numDev)
+}
+
+// GraphFromEdges builds an in-memory graph from an edge list and stripes it
+// over the runtime's devices.
+func (c *Ctx) GraphFromEdges(name string, n uint32, src, dst []uint32) (*Graph, error) {
+	csr := graph.Build(n, src, dst)
+	g := engine.FromCSR(c.rt.ctx, name, csr, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	c.accountGraph(g)
+	return g, nil
+}
+
+// GraphFromPreset generates a Table II dataset preset (already Scaled) and
+// returns the forward and transpose graphs.
+func (c *Ctx) GraphFromPreset(p gen.Preset) (out, in *Graph) {
+	out, in = engine.BuildPreset(c.rt.ctx, p, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	c.accountGraph(out)
+	return out, in
+}
+
+// LoadGraph opens an on-disk graph (<base>.gr.index / <base>.gr.adj.0 as
+// written by cmd/mkgraph) with the adjacency left on storage.
+func (c *Ctx) LoadGraph(name, indexPath, adjPath string) (*Graph, error) {
+	g, err := engine.FromFiles(c.rt.ctx, name, indexPath, adjPath, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	if err != nil {
+		return nil, err
+	}
+	c.accountGraph(g)
+	return g, nil
+}
+
+// SaveGraph writes an in-memory graph to <base>.gr.index and
+// <base>.gr.adj.0 in the format cmd/mkgraph produces and LoadGraph reads.
+func (c *Ctx) SaveGraph(g *Graph, base string) error {
+	if g.CSR.Adj == nil {
+		return fmt.Errorf("blaze: SaveGraph requires an in-memory graph (file-backed graphs are already on disk)")
+	}
+	return graph.WriteFiles(g.CSR, nil, base)
+}
+
+// SaveGraphPair writes a forward graph and its transpose to the four
+// artifact files <base>.gr.* and <base>.tgr.* (as BC and WCC inputs).
+func (c *Ctx) SaveGraphPair(out, in *Graph, base string) error {
+	if out.CSR.Adj == nil || in.CSR.Adj == nil {
+		return fmt.Errorf("blaze: SaveGraphPair requires in-memory graphs")
+	}
+	return graph.WriteFiles(out.CSR, in.CSR, base)
+}
+
+func (c *Ctx) accountGraph(g *Graph) {
+	c.rt.mem.Set("graph-index", g.CSR.IndexBytes())
+}
+
+// RegisterAlgoMemory records algorithm-specific vertex array bytes for the
+// memory-footprint accounting (Figure 12).
+func (c *Ctx) RegisterAlgoMemory(bytes int64) {
+	c.rt.mem.Set("algo-arrays", bytes)
+}
+
+// EdgeMap applies scatter/gather/cond to the edges out of frontier f and
+// returns the new frontier when output is true (see engine.EdgeMap).
+func EdgeMap[V any](c *Ctx, g *Graph, f *VertexSubset,
+	scatter func(s, d uint32) V,
+	gather func(d uint32, v V) bool,
+	cond func(d uint32) bool,
+	output bool) *VertexSubset {
+	out, _ := engine.EdgeMap(c.rt.ctx, c.P, g, f, scatter, gather, cond, output, c.rt.cfg)
+	return out
+}
+
+// VertexMap applies fn to every vertex in f, returning the vertices for
+// which fn was true.
+func VertexMap(c *Ctx, f *VertexSubset, fn func(v uint32) bool) *VertexSubset {
+	return engine.VertexMap(c.P, f, fn, c.rt.cfg)
+}

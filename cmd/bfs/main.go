@@ -1,0 +1,33 @@
+// Command bfs runs out-of-core breadth-first search (paper Algorithm 1):
+//
+//	bfs -computeWorkers 16 -startNode 0 graph.gr.index graph.gr.adj.0
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blaze/algo"
+	"blaze/internal/cli"
+	"blaze/internal/exec"
+)
+
+func main() {
+	opts := cli.ParseFlags("bfs", false)
+	env, err := cli.Setup(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	var reached int64
+	env.Ctx.Run("main", func(p exec.Proc) {
+		parent := algo.BFS(env.Sys, p, env.Out, uint32(opts.StartNode))
+		for _, pa := range parent {
+			if pa != -1 {
+				reached++
+			}
+		}
+	})
+	env.Report("bfs", fmt.Sprintf("reached %d vertices from %d in %d levels",
+		reached, opts.StartNode, len(env.Sys.IterDeviceBytes())))
+}

@@ -1,0 +1,67 @@
+// Command blaze-bench regenerates the paper's tables and figures under the
+// deterministic virtual-time backend and writes one CSV per artifact.
+//
+// Usage:
+//
+//	blaze-bench -exp fig7              # one experiment
+//	blaze-bench -exp all               # everything (minutes)
+//	blaze-bench -exp fig9 -scale 512   # larger datasets (slower)
+//	blaze-bench -list
+//
+// Results print as aligned tables and are saved under -out (default
+// ./results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blaze/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (table1, table2, fig1..fig12) or 'all'")
+	scale := flag.Float64("scale", bench.DefaultScale, "divide the paper's dataset sizes by this factor")
+	out := flag.String("out", "results", "output directory for CSV files")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var runs []bench.Experiment
+	if *exp == "all" {
+		runs = bench.Experiments()
+	} else {
+		e, err := bench.ExperimentByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runs = []bench.Experiment{e}
+	}
+
+	for _, e := range runs {
+		start := time.Now()
+		fmt.Printf("# %s — %s (scale 1/%g)\n\n", e.ID, e.Desc, *scale)
+		tables := e.Run(*scale)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+			if err := t.SaveCSV(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "saving %s: %v\n", t.ID, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("# %s done in %s; CSVs in %s/\n\n", e.ID, time.Since(start).Round(time.Millisecond), *out)
+	}
+}

@@ -1,0 +1,58 @@
+// Command blaze-plot renders the CSV artifacts produced by blaze-bench
+// into standalone SVG charts, one per figure:
+//
+//	blaze-plot -in results -out results/plots
+//
+// Grouped-bar charts are produced for the bandwidth/speedup/footprint
+// tables (figures 1, 7, 8, 12 and the extension tables); line charts for
+// timelines and sweeps (figures 2, 3, 9, 10, 11). Tables without a chart
+// form (table1, table2) are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blaze/internal/svgplot"
+)
+
+func main() {
+	in := flag.String("in", "results", "directory holding blaze-bench CSVs")
+	out := flag.String("out", "results/plots", "output directory for SVGs")
+	flag.Parse()
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plotted := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".csv")
+		svg, ok, err := svgplot.RenderCSV(filepath.Join(*in, name), id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		dst := filepath.Join(*out, id+".svg")
+		if err := os.WriteFile(dst, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		plotted++
+	}
+	fmt.Printf("wrote %d SVG charts to %s\n", plotted, *out)
+}

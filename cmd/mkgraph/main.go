@@ -1,0 +1,101 @@
+// Command mkgraph generates a dataset preset (Table II, scaled) or converts
+// a plain-text edge list into Blaze's on-disk format, writing the four
+// artifact files: <out>.gr.index, <out>.gr.adj.0 (forward CSR) and
+// <out>.tgr.index, <out>.tgr.adj.0 (transpose).
+//
+//	mkgraph -preset rmat27 -scale 512 -out /mnt/nvme/rmat27
+//	mkgraph -edges edges.txt -vertices 1000000 -out /mnt/nvme/custom
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"blaze/gen"
+	"blaze/internal/graph"
+)
+
+func main() {
+	preset := flag.String("preset", "", "Table II dataset short or full name (r2, rmat27, ur, tw, sk, fr, hy, ...)")
+	scale := flag.Float64("scale", 512, "divide the paper's dataset size by this factor")
+	edges := flag.String("edges", "", "plain-text edge list ('src dst' per line) instead of a preset")
+	vertices := flag.Uint("vertices", 0, "vertex count for -edges input (0 = max ID + 1)")
+	out := flag.String("out", "", "output base path (required)")
+	flag.Parse()
+	if *out == "" || (*preset == "") == (*edges == "") {
+		fmt.Fprintln(os.Stderr, "usage: mkgraph (-preset NAME -scale N | -edges FILE [-vertices N]) -out BASE")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var src, dst []uint32
+	var n uint32
+	if *preset != "" {
+		p, err := gen.PresetByShort(*preset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = p.Scaled(*scale)
+		fmt.Printf("generating %s at 1/%g scale: |V|=%d |E|=%d\n", p.Name, *scale, p.V, p.E)
+		src, dst = p.Generate()
+		n = p.V
+	} else {
+		var err error
+		src, dst, n, err = readEdgeList(*edges, uint32(*vertices))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("read %d edges over %d vertices from %s\n", len(src), n, *edges)
+	}
+
+	c := graph.Build(n, src, dst)
+	tr := c.Transpose()
+	if err := graph.WriteFiles(c, tr, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s.gr.index, %s.gr.adj.0 (%d pages), %s.tgr.index, %s.tgr.adj.0\n",
+		*out, *out, c.NumPages(), *out, *out)
+}
+
+func readEdgeList(path string, n uint32) (src, dst []uint32, v uint32, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	maxID := uint32(0)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		var s, d uint32
+		if _, err := fmt.Sscanf(text, "%d %d", &s, &d); err != nil {
+			return nil, nil, 0, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		src = append(src, s)
+		dst = append(dst, d)
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	if n == 0 {
+		n = maxID + 1
+	} else if uint32(maxID) >= n {
+		return nil, nil, 0, fmt.Errorf("edge endpoint %d exceeds -vertices %d", maxID, n)
+	}
+	return src, dst, n, nil
+}

@@ -1,0 +1,41 @@
+// Command pr runs out-of-core PageRank-delta (paper Algorithm 2):
+//
+//	pr -computeWorkers 16 -maxIters 20 -epsilon 0.001 graph.gr.index graph.gr.adj.0
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"blaze/algo"
+	"blaze/internal/cli"
+	"blaze/internal/exec"
+)
+
+func main() {
+	opts := cli.ParseFlags("pr", false)
+	env, err := cli.Setup(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	var rank []float64
+	env.Ctx.Run("main", func(p exec.Proc) {
+		rank = algo.PageRank(env.Sys, p, env.Out, opts.Epsilon, opts.MaxIters)
+	})
+	type vr struct {
+		v uint32
+		r float64
+	}
+	top := make([]vr, 0, len(rank))
+	for v, r := range rank {
+		top = append(top, vr{uint32(v), r})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+	extra := "top ranks:"
+	for i := 0; i < 5 && i < len(top); i++ {
+		extra += fmt.Sprintf(" v%d=%.3g", top[i].v, top[i].r)
+	}
+	env.Report("pr", extra)
+}

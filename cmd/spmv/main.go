@@ -1,0 +1,35 @@
+// Command spmv runs one out-of-core sparse matrix-vector multiplication
+// over the graph's adjacency matrix with x = 1-vector:
+//
+//	spmv -computeWorkers 16 graph.gr.index graph.gr.adj.0
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blaze/algo"
+	"blaze/internal/cli"
+	"blaze/internal/exec"
+)
+
+func main() {
+	opts := cli.ParseFlags("spmv", false)
+	env, err := cli.Setup(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	var sum float64
+	env.Ctx.Run("main", func(p exec.Proc) {
+		x := make([]float64, env.Out.NumVertices())
+		for i := range x {
+			x[i] = 1
+		}
+		y := algo.SpMV(env.Sys, p, env.Out, x)
+		for _, v := range y {
+			sum += v
+		}
+	})
+	env.Report("spmv", fmt.Sprintf("sum(y) = %.0f (equals |E| for x = 1)", sum))
+}

@@ -1,0 +1,68 @@
+package blaze_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineToolsEndToEnd builds the actual binaries and drives the
+// artifact workflow: generate a dataset with mkgraph, run every query tool
+// on the produced files, and render plots from bench CSVs.
+func TestCommandLineToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(filepath.Separator), "./cmd/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	data := t.TempDir()
+	base := filepath.Join(data, "g")
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("mkgraph", "-preset", "r2", "-scale", "40000", "-out", base)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("mkgraph output: %s", out)
+	}
+	idx, adj := base+".gr.index", base+".gr.adj.0"
+	tidx, tadj := base+".tgr.index", base+".tgr.adj.0"
+
+	if out := run("bfs", "-sim", "-computeWorkers", "4", "-startNode", "0", idx, adj); !strings.Contains(out, "reached") {
+		t.Errorf("bfs output: %s", out)
+	}
+	if out := run("pr", "-sim", "-maxIters", "5", idx, adj); !strings.Contains(out, "top ranks") {
+		t.Errorf("pr output: %s", out)
+	}
+	if out := run("spmv", "-sim", idx, adj); !strings.Contains(out, "sum(y)") {
+		t.Errorf("spmv output: %s", out)
+	}
+	if out := run("wcc", "-sim", "-inIndexFilename", tidx, "-inAdjFilenames", tadj, idx, adj); !strings.Contains(out, "components") {
+		t.Errorf("wcc output: %s", out)
+	}
+	if out := run("bc", "-sim", "-startNode", "0", "-inIndexFilename", tidx, "-inAdjFilenames", tadj, idx, adj); !strings.Contains(out, "dependency") {
+		t.Errorf("bc output: %s", out)
+	}
+
+	// blaze-bench on the quickest experiment, then render it.
+	resDir := t.TempDir()
+	if out := run("blaze-bench", "-exp", "table1", "-out", resDir); !strings.Contains(out, "table1") {
+		t.Errorf("blaze-bench output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(resDir, "table1.csv")); err != nil {
+		t.Errorf("table1.csv missing: %v", err)
+	}
+	run("blaze-plot", "-in", resDir, "-out", filepath.Join(resDir, "plots"))
+}

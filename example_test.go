@@ -1,0 +1,68 @@
+package blaze_test
+
+import (
+	"fmt"
+
+	"blaze"
+)
+
+// ExampleEdgeMap runs one BFS level: scatter propagates the source ID,
+// gather records the first writer as the parent, cond prunes visited
+// destinations.
+func ExampleEdgeMap() {
+	rt := blaze.New(blaze.WithComputeWorkers(2))
+	rt.Run(func(c *blaze.Ctx) {
+		g, _ := c.GraphFromEdges("diamond", 4,
+			[]uint32{0, 0, 1, 2},
+			[]uint32{1, 2, 3, 3})
+		parent := []int32{0, -1, -1, -1}
+		next := blaze.EdgeMap(c, g, blaze.Single(4, 0),
+			func(s, d uint32) uint32 { return s },
+			func(d uint32, v uint32) bool {
+				if parent[d] == -1 {
+					parent[d] = int32(v)
+					return true
+				}
+				return false
+			},
+			func(d uint32) bool { return parent[d] == -1 },
+			true)
+		fmt.Println("frontier size:", next.Count())
+		fmt.Println("parents:", parent)
+	})
+	// Output:
+	// frontier size: 2
+	// parents: [0 0 0 -1]
+}
+
+// ExampleVertexMap filters a frontier in memory.
+func ExampleVertexMap() {
+	rt := blaze.New(blaze.WithComputeWorkers(2))
+	rt.Run(func(c *blaze.Ctx) {
+		evens := blaze.VertexMap(c, blaze.All(10), func(v uint32) bool { return v%2 == 0 })
+		fmt.Println(evens.Count())
+	})
+	// Output:
+	// 5
+}
+
+// ExampleRuntime_MemoryItems shows the semi-external memory accounting.
+func ExampleRuntime_MemoryItems() {
+	rt := blaze.New(blaze.WithComputeWorkers(2))
+	rt.Run(func(c *blaze.Ctx) {
+		g, _ := c.GraphFromEdges("toy", 4, []uint32{0, 1, 2}, []uint32{1, 2, 3})
+		sum := int64(0)
+		blaze.EdgeMap(c, g, blaze.All(4),
+			func(s, d uint32) int64 { return 1 },
+			func(d uint32, v int64) bool { sum += v; return false },
+			func(d uint32) bool { return true },
+			false)
+	})
+	for _, item := range rt.MemoryItems() {
+		if item.Name == "graph-index" {
+			fmt.Println("graph index bytes tracked:", item.Bytes > 0)
+		}
+	}
+	// Output:
+	// graph index bytes tracked: true
+}

@@ -1,0 +1,37 @@
+package gen_test
+
+import (
+	"fmt"
+
+	"blaze/gen"
+)
+
+// ExamplePreset_Scaled shows how to obtain a Table II dataset at a chosen
+// fraction of its published size.
+func ExamplePreset_Scaled() {
+	p, _ := gen.PresetByShort("tw")
+	p = p.Scaled(1e6) // one millionth of twitter
+	src, dst := p.Generate()
+	fmt.Println("name:", p.Name)
+	fmt.Println("vertices:", p.V)
+	fmt.Println("edges:", len(src) == len(dst) && int64(len(src)) == p.E)
+	// Output:
+	// name: twitter
+	// vertices: 64
+	// edges: true
+}
+
+// ExamplePresets lists the paper's seven datasets.
+func ExamplePresets() {
+	for _, p := range gen.Presets() {
+		fmt.Printf("%s (%s, %s)\n", p.Name, p.Short, p.Distribution)
+	}
+	// Output:
+	// rmat27 (r2, power)
+	// rmat30 (r3, power)
+	// uran27 (ur, uniform)
+	// twitter (tw, power)
+	// sk2005 (sk, power)
+	// friendster (fr, power)
+	// hyperlink14 (hy, power)
+}

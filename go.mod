@@ -1,0 +1,3 @@
+module blaze
+
+go 1.22

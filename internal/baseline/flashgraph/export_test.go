@@ -1,0 +1,7 @@
+package flashgraph
+
+// SetDebugMsgHist installs a test hook receiving per-owner message counts.
+func SetDebugMsgHist(f func([]int)) { debugMsgHist = f }
+
+// SetDebugPhase installs a test hook receiving phase timestamps.
+func SetDebugPhase(f func(string, int64)) { debugPhase = f }

@@ -1,0 +1,290 @@
+// Package flashgraph reimplements the mechanisms of FlashGraph (Zheng et
+// al., FAST'15) that the paper analyzes in §III-A: a semi-external engine
+// that avoids atomics via message passing. Vertices are range-partitioned
+// across computation threads by vertex ID; scatter appends (dst, value)
+// messages to the owner thread's queue, and all messages are processed at
+// the end of each iteration, after IO completes.
+//
+// Two consequences the paper measures:
+//
+//   - Skewed computation (Fig. 2): on power-law graphs with in-degree mass
+//     concentrated in a vertex-ID range, one owner processes far more
+//     messages than the rest, and the device sits idle until the straggler
+//     finishes each iteration's processing phase.
+//   - An LRU page cache (which Blaze lacks) makes FlashGraph slightly
+//     faster on high-locality graphs like sk2005 (§V-B).
+package flashgraph
+
+import (
+	"fmt"
+	"sync"
+
+	"blaze/algo"
+	"blaze/internal/costmodel"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// ComputeWorkers is the number of computation threads (message owners).
+	ComputeWorkers int
+	// CacheBytes is the LRU page cache budget.
+	CacheBytes int64
+	// IOBufferBytes bounds in-flight IO buffers.
+	IOBufferBytes int64
+	Model         costmodel.Model
+	Stats         *metrics.IOStats
+}
+
+// DefaultConfig mirrors the paper's 16-thread comparison setup with a
+// 64 MB page cache.
+func DefaultConfig() Config {
+	return Config{
+		ComputeWorkers: 16,
+		CacheBytes:     64 << 20,
+		IOBufferBytes:  64 << 20,
+		Model:          costmodel.Default(),
+	}
+}
+
+// System implements algo.System. The page cache persists across EdgeMap
+// calls (iterations), which is what makes repeated traversals of
+// high-locality graphs cheap.
+type System struct {
+	Ctx exec.Context
+	Cfg Config
+	algo.IterLog
+	cache *pagecache.Cache
+}
+
+// New returns a FlashGraph-style system.
+func New(ctx exec.Context, cfg Config) *System {
+	if cfg.ComputeWorkers < 1 {
+		cfg.ComputeWorkers = 1
+	}
+	return &System{
+		Ctx:     ctx,
+		Cfg:     cfg,
+		IterLog: algo.IterLog{Stats: cfg.Stats},
+		cache:   pagecache.New(cfg.CacheBytes),
+	}
+}
+
+// Name implements algo.System.
+func (s *System) Name() string { return "flashgraph" }
+
+// VertexMap implements algo.System.
+func (s *System) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset {
+	f.Seal()
+	out := frontier.NewVertexSubset(f.N())
+	f.ForEach(func(v uint32) {
+		if fn(v) {
+			out.Add(v)
+		}
+	})
+	p.Advance(s.Cfg.Model.VertexOp * f.Count() / int64(s.Cfg.ComputeWorkers))
+	out.Seal()
+	return out
+}
+
+type message struct {
+	dst uint32
+	val float64
+}
+
+type pageBuf struct {
+	data    []byte
+	logical int64
+}
+
+// owner returns the computation thread owning vertex v under range
+// partitioning — FlashGraph's assignment "based on the vertex ID" (§III-A).
+func owner(v, n uint32, workers int) int {
+	o := int(uint64(v) * uint64(workers) / uint64(n))
+	if o >= workers {
+		o = workers - 1
+	}
+	return o
+}
+
+// EdgeMap implements algo.System with the two-phase message-passing
+// execution: (IO + scatter) then a barrier, then message processing.
+func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
+	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+
+	ctx := s.Ctx
+	cfg := s.Cfg
+	m := cfg.Model
+	c := g.CSR
+	numDev := g.Arr.NumDevices()
+	workers := cfg.ComputeWorkers
+
+	f.Seal()
+	ps := frontier.PagesOf(f, c, numDev)
+	p.Advance(m.VertexOp * f.Count() / int64(workers))
+	if ps.Pages() == 0 {
+		return frontier.NewVertexSubset(c.V)
+	}
+
+	bufCount := int(cfg.IOBufferBytes / ssd.PageSize)
+	if bufCount < 2*numDev {
+		bufCount = 2 * numDev
+	}
+	if int64(bufCount) > ps.Pages()+int64(2*numDev) {
+		bufCount = int(ps.Pages()) + 2*numDev
+	}
+	free := exec.NewQueue[*pageBuf](ctx, bufCount)
+	filled := exec.NewQueue[*pageBuf](ctx, bufCount)
+	for i := 0; i < bufCount; i++ {
+		free.Push(p, &pageBuf{data: make([]byte, ssd.PageSize)})
+	}
+
+	// IO procs, one per device, 4 kB requests with an LRU cache in front.
+	ioWG := ctx.NewWaitGroup()
+	ioWG.Add(numDev)
+	for d := 0; d < numDev; d++ {
+		dev := d
+		pages := ps.PerDev[d]
+		ctx.Go(fmt.Sprintf("fg-io%d", dev), func(io exec.Proc) {
+			device := g.Arr.Device(dev)
+			for _, local := range pages {
+				logical := g.Arr.Logical(dev, local)
+				buf, ok := free.Pop(io)
+				if !ok {
+					break
+				}
+				buf.logical = logical
+				io.Sync()
+				if s.cache.Get(pagecache.Key{Graph: c, Logical: logical}, buf.data) {
+					// Cache hit: a memcpy, no device time.
+					io.Advance(m.PageOverhead / 2)
+					filled.Push(io, buf)
+					continue
+				}
+				io.Advance(m.IOSubmit(1))
+				done, err := device.ScheduleRead(io, local, 1, buf.data)
+				if err != nil {
+					panic(err)
+				}
+				io.Sync()
+				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.data)
+				filled.PushAt(io, buf, done)
+			}
+			ioWG.Done(io)
+		})
+	}
+	ctx.Go("fg-io-closer", func(cp exec.Proc) {
+		ioWG.Wait(cp)
+		filled.Close()
+	})
+
+	// Phase 1: scatter procs turn pages into messages routed to owners.
+	msgs := make([][]message, workers)
+	var msgMu []sync.Mutex = make([]sync.Mutex, workers)
+	scatterWG := ctx.NewWaitGroup()
+	scatterWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		id := w
+		ctx.Go(fmt.Sprintf("fg-scatter%d", id), func(sp exec.Proc) {
+			local := make([][]message, workers)
+			flush := func(o int) {
+				if len(local[o]) == 0 {
+					return
+				}
+				sp.Sync()
+				msgMu[o].Lock()
+				msgs[o] = append(msgs[o], local[o]...)
+				msgMu[o].Unlock()
+				local[o] = local[o][:0]
+			}
+			for {
+				buf, ok := filled.Pop(sp)
+				if !ok {
+					break
+				}
+				var produced int64
+				vertices, edges := engine.ForEachActiveEdge(c, f, buf.logical, buf.data, func(src, d uint32) {
+					if fns.Cond(d) {
+						o := owner(d, c.V, workers)
+						local[o] = append(local[o], message{d, fns.Scatter(src, d)})
+						produced++
+						if len(local[o]) >= 256 {
+							flush(o)
+						}
+					}
+				})
+				sp.Advance(m.PageOverhead + m.VertexOp*vertices + m.EdgeScan*edges + m.MsgEnqueue*produced)
+				free.Push(sp, buf)
+			}
+			for o := range local {
+				flush(o)
+			}
+			scatterWG.Done(sp)
+		})
+	}
+	scatterWG.Wait(p)
+	if debugPhase != nil {
+		debugPhase("scatter-end", p.Now())
+	}
+
+	// Phase 2 (after the iteration barrier): each owner processes its own
+	// message queue. The straggler — the owner of the hottest vertex-ID
+	// range — determines the phase length, and the device idles meanwhile.
+	if debugMsgHist != nil {
+		counts := make([]int, workers)
+		for o := range msgs {
+			counts[o] = len(msgs[o])
+		}
+		debugMsgHist(counts)
+	}
+	procWG := ctx.NewWaitGroup()
+	procWG.Add(workers)
+	outFronts := make([]*frontier.VertexSubset, workers)
+	updCost := m.Update(m.MsgProcess, g.Locality)
+	for w := 0; w < workers; w++ {
+		id := w
+		ctx.Go(fmt.Sprintf("fg-process%d", id), func(pp exec.Proc) {
+			var out *frontier.VertexSubset
+			if output {
+				out = frontier.NewVertexSubset(c.V)
+			}
+			mine := msgs[id]
+			pp.Advance(int64(len(mine)) * updCost)
+			for _, msg := range mine {
+				if fns.Gather(msg.dst, msg.val) && output {
+					out.Add(msg.dst)
+				}
+			}
+			outFronts[id] = out
+			procWG.Done(pp)
+		})
+	}
+	procWG.Wait(p)
+	if debugPhase != nil {
+		debugPhase("process-end", p.Now())
+	}
+	if !output {
+		return nil
+	}
+	merged := frontier.NewVertexSubset(c.V)
+	for _, of := range outFronts {
+		merged.Merge(of)
+	}
+	merged.Seal()
+	return merged
+}
+
+// debugMsgHist, when set by tests, receives the per-owner message counts
+// of each EdgeMap.
+var debugMsgHist func([]int)
+
+// debugPhase, when set by tests, receives phase boundary timestamps.
+var debugPhase func(string, int64)
+
+// CacheLen exposes the cache size for tests.
+func (s *System) CacheLen() int { return s.cache.Len() }

@@ -1,0 +1,293 @@
+// Package graphene reimplements the mechanisms of Graphene (Liu & Huang,
+// FAST'17) that the paper analyzes in §III-B and §III-C:
+//
+//   - Topology-aware partitioning with equal edges per partition,
+//     partitions distributed round-robin; with selective scheduling the
+//     *active* bytes per partition are wildly uneven on power-law graphs,
+//     so per-device IO skews (Fig. 3).
+//   - A fixed pairing of one IO thread and one computation thread per SSD
+//     ("equally divides cores across IO and computation"); when the fast
+//     device outruns the inline-update computation thread, free buffers
+//     run out and the device idles — fast IO, slow computation (§III-C).
+//   - Large merged IO that also fetches gap pages within a threshold,
+//     inflating IO bytes (amplification) and submission time.
+//
+// Computation threads apply updates inline with atomic operations.
+//
+// Placement detail: each device addresses pages by their logical page
+// number (partitions are contiguous logical page ranges, so intra-
+// partition requests stay contiguous on the device, which is all the
+// timing model observes).
+package graphene
+
+import (
+	"fmt"
+
+	"blaze/algo"
+	"blaze/internal/costmodel"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/ssd"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// Pairs is the number of IO+compute thread pairs (= half the thread
+	// budget). Pair i reads from device i % NumSSDs.
+	Pairs int
+	// NumSSDs is the device count.
+	NumSSDs int
+	// PartitionsPerPair controls partition granularity: total partitions
+	// = Pairs * PartitionsPerPair, each a contiguous equal-edge range.
+	PartitionsPerPair int
+	// MaxIOPages is the large-IO size cap in pages.
+	MaxIOPages int
+	// GapMergePages merges requests across up to this many inactive
+	// pages, reading them anyway (IO amplification).
+	GapMergePages int
+	// BuffersPerPair bounds in-flight IO buffers per pair; the strict
+	// producer/consumer coupling is what starves fast devices.
+	BuffersPerPair int
+	Model          costmodel.Model
+	// Stats receives per-device read accounting (Fig. 3 uses EndEpoch).
+	Stats *metrics.IOStats
+}
+
+// DefaultConfig mirrors the paper's 16-thread setup on nssd devices.
+func DefaultConfig(nssd int) Config {
+	return Config{
+		Pairs:             8,
+		NumSSDs:           nssd,
+		PartitionsPerPair: 4,
+		MaxIOPages:        32,
+		GapMergePages:     2,
+		BuffersPerPair:    32,
+		Model:             costmodel.Default(),
+	}
+}
+
+// System implements algo.System over its own partition-placed devices.
+// Placements are built lazily per graph, so one System serves a forward
+// graph and its transpose (as WCC and BC require).
+type System struct {
+	Ctx  exec.Context
+	Cfg  Config
+	prof ssd.Profile
+	algo.IterLog
+
+	placements map[*graph.CSR]*placement
+}
+
+// placement is one graph's partition layout and device set.
+type placement struct {
+	devs         []*ssd.Device
+	pagesPerPart int64
+}
+
+// New builds the system; graphs register on first use and must carry
+// in-memory adjacency (engine.BuildPreset graphs do).
+func New(ctx exec.Context, cfg Config, prof ssd.Profile) *System {
+	if cfg.Pairs < 1 {
+		cfg.Pairs = 1
+	}
+	if cfg.NumSSDs < 1 {
+		cfg.NumSSDs = 1
+	}
+	if cfg.BuffersPerPair < 2 {
+		cfg.BuffersPerPair = 2
+	}
+	return &System{
+		Ctx:        ctx,
+		Cfg:        cfg,
+		prof:       prof,
+		IterLog:    algo.IterLog{Stats: cfg.Stats},
+		placements: map[*graph.CSR]*placement{},
+	}
+}
+
+// placementFor lazily builds the partition layout for one graph.
+func (s *System) placementFor(g *engine.Graph) *placement {
+	if pl, ok := s.placements[g.CSR]; ok {
+		return pl
+	}
+	c := g.CSR
+	if c.Adj == nil {
+		panic("graphene: graph must have in-memory adjacency")
+	}
+	numParts := int64(s.Cfg.Pairs * s.Cfg.PartitionsPerPair)
+	pagesPerPart := (c.NumPages() + numParts - 1) / numParts
+	if pagesPerPart < 1 {
+		pagesPerPart = 1
+	}
+	pl := &placement{pagesPerPart: pagesPerPart}
+	pl.devs = make([]*ssd.Device, s.Cfg.NumSSDs)
+	for d := 0; d < s.Cfg.NumSSDs; d++ {
+		pl.devs[d] = ssd.NewDevice(s.Ctx, d, s.prof, &ssd.MemBacking{Data: c.Adj}, s.Cfg.Stats, nil)
+	}
+	s.placements[g.CSR] = pl
+	return pl
+}
+
+// Name implements algo.System.
+func (s *System) Name() string { return "graphene" }
+
+// VertexMap implements algo.System.
+func (s *System) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset {
+	f.Seal()
+	out := frontier.NewVertexSubset(f.N())
+	f.ForEach(func(v uint32) {
+		if fn(v) {
+			out.Add(v)
+		}
+	})
+	p.Advance(s.Cfg.Model.VertexOp * f.Count() / int64(2*s.Cfg.Pairs))
+	out.Seal()
+	return out
+}
+
+// pairOf returns the pair owning a logical page under a placement.
+func (pl *placement) pairOf(logical int64, pairs int) int {
+	return int((logical / pl.pagesPerPart) % int64(pairs))
+}
+
+type ioBuffer struct {
+	data     []byte
+	start    int64 // first logical page
+	numPages int
+}
+
+// EdgeMap implements algo.System.
+func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
+	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+
+	ctx := s.Ctx
+	cfg := s.Cfg
+	m := cfg.Model
+	c := g.CSR
+	pl := s.placementFor(g)
+
+	f.Seal()
+	// Active logical pages, ascending, then routed to owning pairs.
+	all := frontier.PagesOf(f, c, 1)
+	p.Advance(m.VertexOp * f.Count() / int64(2*cfg.Pairs))
+	if all.Pages() == 0 {
+		return frontier.NewVertexSubset(c.V)
+	}
+	perPair := make([][]int64, cfg.Pairs)
+	for _, logical := range all.PerDev[0] {
+		pr := pl.pairOf(logical, cfg.Pairs)
+		perPair[pr] = append(perPair[pr], logical)
+	}
+
+	updCost := m.Update(m.RandomUpdate, g.Locality) + m.AtomicExtra
+	var hotExtra int64
+	if cfg.Pairs > 1 {
+		hotExtra = int64(g.HotFrac * float64(m.HotContention))
+	}
+
+	wg := ctx.NewWaitGroup()
+	wg.Add(cfg.Pairs)
+	outFronts := make([]*frontier.VertexSubset, cfg.Pairs)
+	for pr := 0; pr < cfg.Pairs; pr++ {
+		pair := pr
+		pages := perPair[pr]
+		dev := pl.devs[pair%cfg.NumSSDs]
+		// Per-pair buffer queues: the strict 1 IO : 1 compute coupling.
+		free := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
+		filled := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
+		for i := 0; i < cfg.BuffersPerPair; i++ {
+			free.Push(p, &ioBuffer{data: make([]byte, cfg.MaxIOPages*ssd.PageSize)})
+		}
+		ctx.Go(fmt.Sprintf("gr-io%d", pair), func(io exec.Proc) {
+			i := 0
+			for i < len(pages) {
+				// Large IO: merge across gaps up to GapMergePages wide,
+				// capped at MaxIOPages, never across a partition boundary.
+				start := pages[i]
+				end := start // inclusive last page
+				part := start / pl.pagesPerPart
+				j := i + 1
+				for j < len(pages) {
+					next := pages[j]
+					if next/pl.pagesPerPart != part {
+						break
+					}
+					if next-end-1 > int64(cfg.GapMergePages) {
+						break
+					}
+					if next-start+1 > int64(cfg.MaxIOPages) {
+						break
+					}
+					end = next
+					j++
+				}
+				n := int(end - start + 1)
+				buf, ok := free.Pop(io)
+				if !ok {
+					break
+				}
+				buf.start, buf.numPages = start, n
+				io.Advance(m.IOSubmit(n))
+				done, err := dev.ScheduleRead(io, start, n, buf.data[:n*ssd.PageSize])
+				if err != nil {
+					panic(err)
+				}
+				filled.PushAt(io, buf, done)
+				i = j
+			}
+			filled.Close()
+		})
+		ctx.Go(fmt.Sprintf("gr-compute%d", pair), func(cp exec.Proc) {
+			var out *frontier.VertexSubset
+			if output {
+				out = frontier.NewVertexSubset(c.V)
+			}
+			for {
+				buf, ok := filled.Pop(cp)
+				if !ok {
+					break
+				}
+				for pg := 0; pg < buf.numPages; pg++ {
+					logical := buf.start + int64(pg)
+					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+					var produced int64
+					cp.Sync()
+					vertices, edges := engine.ForEachActiveEdge(c, f, logical, pageData, func(src, d uint32) {
+						if fns.Cond(d) {
+							v := fns.Scatter(src, d)
+							if fns.Gather(d, v) && output {
+								out.Add(d)
+							}
+							produced++
+						}
+					})
+					cp.Advance(m.PageOverhead + m.VertexOp*vertices + m.EdgeScan*edges + (updCost+hotExtra)*produced)
+				}
+				free.Push(cp, buf)
+			}
+			outFronts[pair] = out
+			wg.Done(cp)
+		})
+	}
+	wg.Wait(p)
+	if !output {
+		return nil
+	}
+	merged := frontier.NewVertexSubset(c.V)
+	for _, of := range outFronts {
+		merged.Merge(of)
+	}
+	merged.Seal()
+	return merged
+}
+
+// DeviceBytes exposes per-device totals (via Stats).
+func (s *System) DeviceBytes() []int64 {
+	if s.Cfg.Stats == nil {
+		return nil
+	}
+	return s.Cfg.Stats.DeviceBytes()
+}

@@ -1,0 +1,34 @@
+package graphene
+
+import (
+	"blaze/algo"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+)
+
+func metricsStats(n int) *metrics.IOStats { return metrics.NewIOStats(n) }
+
+// sparseFrontier picks every (V/n)th vertex with edges.
+func sparseFrontier(c *graph.CSR, n int) *frontier.VertexSubset {
+	f := frontier.NewVertexSubset(c.V)
+	step := int(c.V) / n
+	if step < 1 {
+		step = 1
+	}
+	for v := uint32(0); v < c.V; v += uint32(step) {
+		if c.Degree(v) > 0 {
+			f.Add(v)
+		}
+	}
+	f.Seal()
+	return f
+}
+
+func discardFuncs() algo.EdgeFuncs {
+	return algo.EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return 0 },
+		Gather:  func(d uint32, v float64) bool { return false },
+		Cond:    func(d uint32) bool { return true },
+	}
+}

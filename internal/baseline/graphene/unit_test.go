@@ -1,0 +1,66 @@
+package graphene
+
+import (
+	"testing"
+
+	"blaze/gen"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/ssd"
+)
+
+// TestPlacementPartitionsRoundRobin: partitions are contiguous page ranges
+// assigned to pairs round-robin.
+func TestPlacementPartitionsRoundRobin(t *testing.T) {
+	ctx := exec.NewSim()
+	pr := gen.Preset{Kind: gen.KindUniform, Seed: 3, V: 4096, E: 100_000}
+	out, _ := engine.BuildPreset(ctx, pr, 1, ssd.OptaneSSD, nil, nil)
+	cfg := DefaultConfig(4)
+	cfg.Pairs = 4
+	s := New(ctx, cfg, ssd.OptaneSSD)
+	pl := s.placementFor(out)
+	pages := out.CSR.NumPages()
+	counts := make([]int64, cfg.Pairs)
+	for p := int64(0); p < pages; p++ {
+		pair := pl.pairOf(p, cfg.Pairs)
+		if pair < 0 || pair >= cfg.Pairs {
+			t.Fatalf("page %d assigned to pair %d", p, pair)
+		}
+		counts[pair]++
+	}
+	// Equal page counts within one partition's worth.
+	for _, c := range counts {
+		if c < pages/int64(cfg.Pairs)-pl.pagesPerPart || c > pages/int64(cfg.Pairs)+pl.pagesPerPart {
+			t.Errorf("pair page counts unbalanced: %v", counts)
+		}
+	}
+	// Lazy placement is cached.
+	if s.placementFor(out) != pl {
+		t.Error("placement rebuilt for same graph")
+	}
+}
+
+// TestGapMergingReadsExtraPages: with gaps within the threshold the IO
+// bytes exceed the strictly needed pages (amplification, §III-B).
+func TestGapMergingReadsExtraPages(t *testing.T) {
+	run := func(gap int) int64 {
+		ctx := exec.NewSim()
+		pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 10, V: 8192, E: 200_000, Locality: 0.1}
+		out, _ := engine.BuildPreset(ctx, pr, 1, ssd.OptaneSSD, nil, nil)
+		stats := metricsStats(1)
+		cfg := DefaultConfig(1)
+		cfg.GapMergePages = gap
+		cfg.Stats = stats
+		s := New(ctx, cfg, ssd.OptaneSSD)
+		ctx.Run("main", func(p exec.Proc) {
+			// Sparse frontier -> gappy page lists.
+			f := sparseFrontier(out.CSR, 200)
+			s.EdgeMap(p, out, f, discardFuncs(), false)
+		})
+		return stats.TotalBytes()
+	}
+	exact, gappy := run(0), run(4)
+	if gappy <= exact {
+		t.Errorf("gap merging read %d bytes <= exact %d; no amplification", gappy, exact)
+	}
+}

@@ -1,0 +1,265 @@
+// Package bin implements Blaze's online binning (§IV-A), the paper's core
+// contribution: an atomic-free scatter→gather value propagation scheme.
+//
+// A bin holds (destination vertex, value) records for the vertex class
+// dst % binCount. Scatter procs append records through small per-proc
+// staging buffers (the paper's per-CPU buffers) that flush in batches.
+// Each bin is implemented as a pair of buffers: while one fills, the other
+// may be draining in a gather proc. Full buffers flow through the
+// full_bins MPMC queue to gather procs.
+//
+// The no-synchronization guarantee: a destination vertex belongs to exactly
+// one bin, and the pair protocol ensures at most one buffer of a given bin
+// is ever in flight to the gather side — a scatter proc must first reclaim
+// the bin's spare buffer (blocking until the previous drain finished)
+// before publishing a newly filled one. Hence no two gather procs ever
+// update the same vertex concurrently, and gather functions need no
+// atomics. Exclusive fill access to a bin's active buffer is serialized by
+// a one-slot ownership queue instead of a mutex so the same code runs
+// under both the real and the virtual-time backends.
+package bin
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"blaze/internal/exec"
+)
+
+// StageCap is the per-bin capacity (in records) of each scatter proc's
+// staging buffer — one cache line of 8-byte records, as in propagation
+// blocking.
+const StageCap = 8
+
+// Record is one binned update.
+type Record[V any] struct {
+	Dst uint32
+	Val V
+}
+
+// Buffer is one half of a bin pair.
+type Buffer[V any] struct {
+	BinID   int
+	Records []Record[V]
+}
+
+// Manager owns all bins of one EdgeMap execution.
+type Manager[V any] struct {
+	binCount int
+	bufCap   int
+	// slot[b] holds bin b's active buffer; popping it grants exclusive
+	// fill access.
+	slot []exec.Queue[*Buffer[V]]
+	// empty[b] returns drained buffers of bin b to the scatter side.
+	empty []exec.Queue[*Buffer[V]]
+	// Full is the full_bins MPMC queue consumed by gather procs.
+	Full exec.Queue[*Buffer[V]]
+
+	stageCap  int
+	flushCost int64
+	records   atomic.Int64
+	flushes   atomic.Int64
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// BinCount is the number of bins (the paper's default heuristic is
+	// one thousand; we default to 1024).
+	BinCount int
+	// SpaceBytes is the total bin memory budget; each bin gets
+	// SpaceBytes / (2*BinCount) per buffer.
+	SpaceBytes int64
+	// RecordBytes is the marshalled size of one record (4 + sizeof(V)),
+	// used only for sizing and accounting.
+	RecordBytes int
+	// StageCap overrides the per-bin staging capacity (default StageCap);
+	// the ablation benchmarks use it to quantify the per-CPU buffer's
+	// contribution.
+	StageCap int
+	// FlushCostNs is the virtual-time CPU cost charged per staging flush
+	// (costmodel.BinFlush); zero under the real-time backend, where the
+	// flush itself takes real time.
+	FlushCostNs int64
+}
+
+// DefaultConfig mirrors the paper's heuristics (§IV-A, §V-E): ~1000 bins
+// and bin space of about 5 bytes per edge, here supplied by the caller.
+func DefaultConfig(spaceBytes int64, recordBytes int) Config {
+	return Config{BinCount: 1024, SpaceBytes: spaceBytes, RecordBytes: recordBytes}
+}
+
+// NewManager builds the bins and their queues under ctx.
+func NewManager[V any](ctx exec.Context, cfg Config) *Manager[V] {
+	if cfg.BinCount < 1 {
+		cfg.BinCount = 1
+	}
+	if cfg.RecordBytes < 1 {
+		cfg.RecordBytes = 8
+	}
+	bufCap := int(cfg.SpaceBytes / int64(2*cfg.BinCount) / int64(cfg.RecordBytes))
+	if cfg.StageCap > 0 && bufCap < cfg.StageCap {
+		bufCap = cfg.StageCap
+	}
+	if bufCap < StageCap {
+		bufCap = StageCap
+	}
+	stage := cfg.StageCap
+	if stage < 1 {
+		stage = StageCap
+	}
+	m := &Manager[V]{
+		binCount:  cfg.BinCount,
+		stageCap:  stage,
+		flushCost: cfg.FlushCostNs,
+		bufCap:    bufCap,
+		slot:      make([]exec.Queue[*Buffer[V]], cfg.BinCount),
+		empty:     make([]exec.Queue[*Buffer[V]], cfg.BinCount),
+		Full:      exec.NewQueue[*Buffer[V]](ctx, cfg.BinCount+1),
+	}
+	for b := 0; b < cfg.BinCount; b++ {
+		m.slot[b] = exec.NewQueue[*Buffer[V]](ctx, 1)
+		m.empty[b] = exec.NewQueue[*Buffer[V]](ctx, 2)
+	}
+	return m
+}
+
+// Prime loads the initial buffer pair into every bin. It must run inside a
+// proc before any Emit.
+func (m *Manager[V]) Prime(p exec.Proc) {
+	for b := 0; b < m.binCount; b++ {
+		m.slot[b].Push(p, &Buffer[V]{BinID: b, Records: make([]Record[V], 0, m.bufCap)})
+		m.empty[b].Push(p, &Buffer[V]{BinID: b, Records: make([]Record[V], 0, m.bufCap)})
+	}
+}
+
+// BinCount returns the number of bins.
+func (m *Manager[V]) BinCount() int { return m.binCount }
+
+// BufCap returns the per-buffer record capacity.
+func (m *Manager[V]) BufCap() int { return m.bufCap }
+
+// BinOf maps a destination vertex to its bin.
+func (m *Manager[V]) BinOf(dst uint32) int { return int(dst) % m.binCount }
+
+// Records returns the total records binned so far.
+func (m *Manager[V]) Records() int64 { return m.records.Load() }
+
+// Flushes returns the number of staging flushes performed.
+func (m *Manager[V]) Flushes() int64 { return m.flushes.Load() }
+
+// MemBytes returns the bin-space footprint (both halves of every pair).
+func (m *Manager[V]) MemBytes(recordBytes int) int64 {
+	return int64(m.binCount) * 2 * int64(m.bufCap) * int64(recordBytes)
+}
+
+// flushBin moves records into bin b, publishing buffers as they fill.
+func (m *Manager[V]) flushBin(p exec.Proc, b int, recs []Record[V]) {
+	p.Advance(m.flushCost)
+	buf, ok := m.slot[b].Pop(p)
+	if !ok {
+		panic(fmt.Sprintf("bin: slot queue of bin %d closed during flush", b))
+	}
+	for len(recs) > 0 {
+		space := m.bufCap - len(buf.Records)
+		n := len(recs)
+		if n > space {
+			n = space
+		}
+		buf.Records = append(buf.Records, recs[:n]...)
+		recs = recs[n:]
+		if len(buf.Records) == m.bufCap {
+			// Pair protocol: reclaim the spare first — this blocks until
+			// any previous drain of this bin finished, guaranteeing at
+			// most one buffer per bin on the gather side.
+			spare, ok := m.empty[b].Pop(p)
+			if !ok {
+				panic(fmt.Sprintf("bin: empty queue of bin %d closed during flush", b))
+			}
+			m.Full.Push(p, buf)
+			spare.Records = spare.Records[:0]
+			buf = spare
+		}
+	}
+	m.slot[b].Push(p, buf)
+	m.flushes.Add(1)
+}
+
+// FlushPartials publishes every bin's non-empty active buffer. Call it from
+// the coordinating proc after all scatter procs have finished and flushed
+// their stagers; follow with CloseFull.
+func (m *Manager[V]) FlushPartials(p exec.Proc) {
+	for b := 0; b < m.binCount; b++ {
+		buf, ok := m.slot[b].Pop(p)
+		if !ok {
+			continue
+		}
+		if len(buf.Records) == 0 {
+			m.slot[b].Push(p, buf)
+			continue
+		}
+		spare, ok := m.empty[b].Pop(p)
+		if !ok {
+			panic(fmt.Sprintf("bin: empty queue of bin %d closed during final flush", b))
+		}
+		m.Full.Push(p, buf)
+		spare.Records = spare.Records[:0]
+		m.slot[b].Push(p, spare)
+	}
+}
+
+// CloseFull ends the gather stream.
+func (m *Manager[V]) CloseFull() { m.Full.Close() }
+
+// Return hands a drained buffer back to its bin; gather procs call it
+// after processing.
+func (m *Manager[V]) Return(p exec.Proc, buf *Buffer[V]) {
+	m.empty[buf.BinID].Push(p, buf)
+}
+
+// Stager is one scatter proc's per-bin staging area (the per-CPU buffer of
+// §IV-A). It is not safe for concurrent use; create one per proc.
+type Stager[V any] struct {
+	m     *Manager[V]
+	stage [][]Record[V]
+	emits int64
+}
+
+// NewStager returns a staging area for one scatter proc.
+func (m *Manager[V]) NewStager() *Stager[V] {
+	st := &Stager[V]{m: m, stage: make([][]Record[V], m.binCount)}
+	return st
+}
+
+// Emit stages one record, flushing its bin's stage when full.
+func (s *Stager[V]) Emit(p exec.Proc, dst uint32, val V) {
+	b := s.m.BinOf(dst)
+	if s.stage[b] == nil {
+		s.stage[b] = make([]Record[V], 0, s.m.stageCap)
+	}
+	s.stage[b] = append(s.stage[b], Record[V]{dst, val})
+	s.emits++
+	s.m.records.Add(1)
+	if len(s.stage[b]) == s.m.stageCap {
+		s.m.flushBin(p, b, s.stage[b])
+		s.stage[b] = s.stage[b][:0]
+	}
+}
+
+// Emits returns the number of records this stager produced.
+func (s *Stager[V]) Emits() int64 { return s.emits }
+
+// FlushAll drains every non-empty stage; call before the scatter proc
+// exits.
+func (s *Stager[V]) FlushAll(p exec.Proc) {
+	for b, recs := range s.stage {
+		if len(recs) > 0 {
+			s.m.flushBin(p, b, recs)
+			s.stage[b] = recs[:0]
+		}
+	}
+}
+
+// MemBytes returns the staging footprint of one stager.
+func (s *Stager[V]) MemBytes(recordBytes int) int64 {
+	return int64(s.m.binCount) * int64(s.m.stageCap) * int64(recordBytes)
+}

@@ -1,0 +1,203 @@
+package bin
+
+import (
+	"fmt"
+	"testing"
+
+	"blaze/internal/exec"
+)
+
+// drainAll runs nGather gather procs that apply records into out (indexed
+// by dst) and returns when the full queue closes. It also asserts the
+// no-concurrent-drain-per-bin invariant under the Sim backend.
+func runPipeline(t *testing.T, ctx exec.Context, binCount, nScatter, nGather, perScatter int, vertices uint32) []int64 {
+	t.Helper()
+	out := make([]int64, vertices)
+	ctx.Run("main", func(p exec.Proc) {
+		m := NewManager[int64](ctx, Config{BinCount: binCount, SpaceBytes: 1 << 14, RecordBytes: 12})
+		m.Prime(p)
+		scatterWG := ctx.NewWaitGroup()
+		scatterWG.Add(nScatter)
+		for i := 0; i < nScatter; i++ {
+			id := i
+			ctx.Go(fmt.Sprintf("scatter%d", i), func(c exec.Proc) {
+				st := m.NewStager()
+				for j := 0; j < perScatter; j++ {
+					dst := uint32((id*perScatter + j)) % vertices
+					st.Emit(c, dst, 1)
+					c.Advance(5)
+				}
+				st.FlushAll(c)
+				scatterWG.Done(c)
+			})
+		}
+		gatherWG := ctx.NewWaitGroup()
+		gatherWG.Add(nGather)
+		draining := make([]int32, binCount) // invariant check
+		for i := 0; i < nGather; i++ {
+			ctx.Go(fmt.Sprintf("gather%d", i), func(c exec.Proc) {
+				for {
+					buf, ok := m.Full.Pop(c)
+					if !ok {
+						break
+					}
+					c.Sync()
+					draining[buf.BinID]++
+					if draining[buf.BinID] > 1 {
+						t.Errorf("bin %d drained by two gathers concurrently", buf.BinID)
+					}
+					for _, r := range buf.Records {
+						if int(r.Dst)%binCount != buf.BinID {
+							t.Errorf("record for dst %d in wrong bin %d", r.Dst, buf.BinID)
+						}
+						out[r.Dst] += r.Val
+						c.Advance(10)
+					}
+					c.Sync()
+					draining[buf.BinID]--
+					m.Return(c, buf)
+				}
+				gatherWG.Done(c)
+			})
+		}
+		scatterWG.Wait(p)
+		m.FlushPartials(p)
+		m.CloseFull()
+		gatherWG.Wait(p)
+		if m.Records() != int64(nScatter*perScatter) {
+			t.Errorf("Records = %d, want %d", m.Records(), nScatter*perScatter)
+		}
+	})
+	return out
+}
+
+func checkCounts(t *testing.T, out []int64, nScatter, perScatter int, vertices uint32) {
+	t.Helper()
+	want := make([]int64, vertices)
+	for id := 0; id < nScatter; id++ {
+		for j := 0; j < perScatter; j++ {
+			want[uint32(id*perScatter+j)%vertices]++
+		}
+	}
+	for v := range out {
+		if out[v] != want[v] {
+			t.Fatalf("vertex %d accumulated %d, want %d", v, out[v], want[v])
+		}
+	}
+}
+
+func TestPipelineSim(t *testing.T) {
+	for _, tc := range []struct{ bins, sc, ga, per int }{
+		{1, 1, 1, 100},
+		{8, 4, 4, 500},
+		{64, 2, 6, 1000},
+		{1024, 8, 8, 2000},
+	} {
+		out := runPipeline(t, exec.NewSim(), tc.bins, tc.sc, tc.ga, tc.per, 333)
+		checkCounts(t, out, tc.sc, tc.per, 333)
+	}
+}
+
+func TestPipelineReal(t *testing.T) {
+	out := runPipeline(t, exec.NewReal(), 32, 4, 4, 2000, 333)
+	checkCounts(t, out, 4, 2000, 333)
+}
+
+func TestBufCapSizing(t *testing.T) {
+	ctx := exec.NewSim()
+	m := NewManager[int64](ctx, Config{BinCount: 16, SpaceBytes: 16 * 2 * 100 * 12, RecordBytes: 12})
+	if m.BufCap() != 100 {
+		t.Errorf("BufCap = %d, want 100", m.BufCap())
+	}
+	// Tiny space still yields at least StageCap.
+	m2 := NewManager[int64](ctx, Config{BinCount: 1024, SpaceBytes: 10, RecordBytes: 12})
+	if m2.BufCap() < StageCap {
+		t.Errorf("BufCap = %d, want >= %d", m2.BufCap(), StageCap)
+	}
+}
+
+func TestBinOfPartitionsVertices(t *testing.T) {
+	ctx := exec.NewSim()
+	m := NewManager[uint32](ctx, Config{BinCount: 7, SpaceBytes: 1 << 12, RecordBytes: 8})
+	for v := uint32(0); v < 1000; v++ {
+		if m.BinOf(v) != int(v%7) {
+			t.Fatalf("BinOf(%d) = %d", v, m.BinOf(v))
+		}
+	}
+}
+
+// TestPairBackpressure verifies the paper's blocking behaviour: with both
+// halves of a bin full and no gather running, the scatter proc blocks (and
+// the Sim backend reports the deadlock).
+func TestPairBackpressure(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected simulated deadlock when no gather drains full bins")
+		}
+	}()
+	s := exec.NewSim()
+	s.Run("main", func(p exec.Proc) {
+		m := NewManager[int64](s, Config{BinCount: 1, SpaceBytes: 1, RecordBytes: 12})
+		m.Prime(p)
+		st := m.NewStager()
+		// Fill far beyond two buffers with no gather side.
+		for i := 0; i < 10*m.BufCap(); i++ {
+			st.Emit(p, 0, 1)
+		}
+		st.FlushAll(p)
+	})
+}
+
+func TestFlushPartialsPublishesLeftovers(t *testing.T) {
+	s := exec.NewSim()
+	var got int
+	s.Run("main", func(p exec.Proc) {
+		m := NewManager[int64](s, Config{BinCount: 4, SpaceBytes: 1 << 16, RecordBytes: 12})
+		m.Prime(p)
+		st := m.NewStager()
+		for i := 0; i < 10; i++ { // far fewer than any buffer capacity
+			st.Emit(p, uint32(i), 1)
+		}
+		st.FlushAll(p)
+		m.FlushPartials(p)
+		m.CloseFull()
+		for {
+			buf, ok := m.Full.Pop(p)
+			if !ok {
+				break
+			}
+			got += len(buf.Records)
+			m.Return(p, buf)
+		}
+	})
+	if got != 10 {
+		t.Errorf("drained %d records, want 10", got)
+	}
+}
+
+func TestStagerMemAccounting(t *testing.T) {
+	s := exec.NewSim()
+	m := NewManager[int64](s, Config{BinCount: 100, SpaceBytes: 1 << 16, RecordBytes: 12})
+	st := m.NewStager()
+	if st.MemBytes(12) != 100*StageCap*12 {
+		t.Errorf("stager MemBytes = %d", st.MemBytes(12))
+	}
+	if m.MemBytes(12) != int64(100*2*m.BufCap()*12) {
+		t.Errorf("manager MemBytes = %d", m.MemBytes(12))
+	}
+}
+
+func TestEmitsCounter(t *testing.T) {
+	s := exec.NewSim()
+	s.Run("main", func(p exec.Proc) {
+		m := NewManager[int64](s, Config{BinCount: 4, SpaceBytes: 1 << 16, RecordBytes: 12})
+		m.Prime(p)
+		st := m.NewStager()
+		for i := 0; i < 25; i++ {
+			st.Emit(p, uint32(i%4), 1)
+		}
+		if st.Emits() != 25 {
+			t.Errorf("Emits = %d, want 25", st.Emits())
+		}
+	})
+}

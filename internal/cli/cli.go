@@ -1,0 +1,184 @@
+// Package cli implements the shared command-line surface of the query
+// tools (cmd/bfs, cmd/pr, cmd/wcc, cmd/spmv, cmd/bc), mirroring the paper
+// artifact's binaries:
+//
+//	bfs -computeWorkers 16 -startNode 0 graph.gr.index graph.gr.adj.0
+//	bc  -computeWorkers 16 -startNode 0 graph.gr.index graph.gr.adj.0 \
+//	    -inIndexFilename graph.tgr.index -inAdjFilenames graph.tgr.adj.0
+//
+// Binning options match the artifact: -binSpace (MB), -binCount,
+// -binningRatio. By default the tools run in real time against the local
+// filesystem with a modeled device bandwidth; -sim switches to the
+// deterministic virtual-time backend used by the benchmark harness.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blaze/algo"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// Options holds the parsed command line.
+type Options struct {
+	ComputeWorkers int
+	StartNode      uint
+	BinSpaceMB     int
+	BinCount       int
+	BinningRatio   float64
+	Devices        int
+	Profile        string
+	Sim            bool
+	PageCacheMB    int
+	MaxIters       int
+	Epsilon        float64
+	InIndex        string
+	InAdj          string
+	IndexPath      string
+	AdjPath        string
+}
+
+// ParseFlags parses the artifact-compatible flag set. needTranspose makes
+// the transpose inputs mandatory (bc, wcc).
+func ParseFlags(tool string, needTranspose bool) *Options {
+	o := &Options{}
+	fs := flag.NewFlagSet(tool, flag.ExitOnError)
+	fs.IntVar(&o.ComputeWorkers, "computeWorkers", 16, "number of computation workers (split between scatter and gather)")
+	fs.UintVar(&o.StartNode, "startNode", 0, "source vertex for traversal queries")
+	fs.IntVar(&o.BinSpaceMB, "binSpace", 0, "total bin space in MB (0 = heuristic: ~5 bytes/edge)")
+	fs.IntVar(&o.BinCount, "binCount", 1024, "number of online bins")
+	fs.Float64Var(&o.BinningRatio, "binningRatio", 0.5, "scatter fraction of compute workers")
+	fs.IntVar(&o.Devices, "devices", 1, "number of SSDs to stripe the graph over")
+	fs.StringVar(&o.Profile, "profile", "optane", "device profile: optane, nand, znand, vnand")
+	fs.BoolVar(&o.Sim, "sim", false, "run under the deterministic virtual-time backend")
+	fs.IntVar(&o.MaxIters, "maxIters", 20, "iteration cap for iterative queries (pr)")
+	fs.Float64Var(&o.Epsilon, "epsilon", 0.001, "PageRank-delta activation threshold")
+	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "LRU page cache size in MB (0 = off, the paper's configuration)")
+	fs.StringVar(&o.InIndex, "inIndexFilename", "", "transpose graph index file")
+	fs.StringVar(&o.InAdj, "inAdjFilenames", "", "transpose graph adjacency file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <graph.gr.index> <graph.gr.adj.0>\n", tool)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+	args := fs.Args()
+	if len(args) != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	o.IndexPath, o.AdjPath = args[0], args[1]
+	if needTranspose && (o.InIndex == "" || o.InAdj == "") {
+		fmt.Fprintf(os.Stderr, "%s: requires -inIndexFilename and -inAdjFilenames (transpose graph)\n", tool)
+		os.Exit(2)
+	}
+	return o
+}
+
+// DeviceProfile resolves the -profile flag.
+func (o *Options) DeviceProfile() (ssd.Profile, error) {
+	switch strings.ToLower(o.Profile) {
+	case "optane":
+		return ssd.OptaneSSD, nil
+	case "nand":
+		return ssd.NANDSSD, nil
+	case "znand":
+		return ssd.ZNAND, nil
+	case "vnand":
+		return ssd.VNAND, nil
+	}
+	return ssd.Profile{}, fmt.Errorf("unknown device profile %q", o.Profile)
+}
+
+// Env is the constructed runtime environment.
+type Env struct {
+	Ctx   exec.Context
+	Cfg   engine.Config
+	Stats *metrics.IOStats
+	Out   *engine.Graph
+	In    *engine.Graph // nil unless transpose inputs were given
+	Sys   *algo.Blaze
+	start time.Time
+}
+
+// Setup loads the graphs and builds the engine.
+func Setup(o *Options) (*Env, error) {
+	prof, err := o.DeviceProfile()
+	if err != nil {
+		return nil, err
+	}
+	var ctx exec.Context
+	if o.Sim {
+		ctx = exec.NewSim()
+	} else {
+		ctx = exec.NewReal()
+	}
+	stats := metrics.NewIOStats(o.Devices)
+	out, err := engine.FromFiles(ctx, o.IndexPath, o.IndexPath, o.AdjPath, o.Devices, prof, stats, nil)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Ctx: ctx, Stats: stats, Out: out, start: time.Now()}
+	if o.InIndex != "" {
+		in, err := engine.FromFiles(ctx, o.InIndex, o.InIndex, o.InAdj, o.Devices, prof, stats, nil)
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		env.In = in
+	}
+	cfg := engine.DefaultConfig(out.NumEdges()).WithThreads(o.ComputeWorkers, o.BinningRatio)
+	cfg.Stats = stats
+	cfg.BinCount = o.BinCount
+	if o.PageCacheMB > 0 {
+		cfg.PageCache = pagecache.New(int64(o.PageCacheMB) << 20)
+	}
+	if o.BinSpaceMB > 0 {
+		cfg.BinSpaceBytes = int64(o.BinSpaceMB) << 20
+	}
+	env.Cfg = cfg
+	env.Sys = algo.NewBlaze(ctx, cfg)
+	if uint64(o.StartNode) >= uint64(out.NumVertices()) {
+		out.Close()
+		return nil, fmt.Errorf("startNode %d out of range (|V| = %d)", o.StartNode, out.NumVertices())
+	}
+	return env, nil
+}
+
+// Close releases graph files.
+func (e *Env) Close() {
+	e.Out.Close()
+	if e.In != nil {
+		e.In.Close()
+	}
+}
+
+// Report prints the run summary the artifact tools print.
+func (e *Env) Report(query string, extra string) {
+	var elapsedNs int64
+	clock := "wall"
+	if s, ok := e.Ctx.(*exec.Sim); ok {
+		elapsedNs = s.End
+		clock = "virtual"
+	} else {
+		elapsedNs = int64(time.Since(e.start))
+	}
+	bw := 0.0
+	if elapsedNs > 0 {
+		bw = float64(e.Stats.TotalBytes()) / (float64(elapsedNs) / 1e9)
+	}
+	fmt.Printf("%s: |V|=%d |E|=%d time=%.3fs (%s) read=%.1fMB avgBW=%.2fGB/s requests=%d\n",
+		query, e.Out.NumVertices(), e.Out.NumEdges(),
+		float64(elapsedNs)/1e9, clock,
+		float64(e.Stats.TotalBytes())/1e6, bw/1e9, e.Stats.Requests())
+	if extra != "" {
+		fmt.Println(extra)
+	}
+}

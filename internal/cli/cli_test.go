@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blaze/gen"
+	"blaze/internal/graph"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: 8, V: 1024, E: 8000}
+	src, dst := p.Generate()
+	c := graph.Build(p.V, src, dst)
+	base := filepath.Join(dir, "g")
+	if err := graph.WriteFiles(c, c.Transpose(), base); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestDeviceProfileResolution(t *testing.T) {
+	for _, name := range []string{"optane", "NAND", "znand", "vnand"} {
+		o := Options{Profile: name}
+		if _, err := o.DeviceProfile(); err != nil {
+			t.Errorf("profile %q rejected: %v", name, err)
+		}
+	}
+	o := Options{Profile: "floppy"}
+	if _, err := o.DeviceProfile(); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestSetupAndReport(t *testing.T) {
+	base := writeTestGraph(t)
+	o := &Options{
+		ComputeWorkers: 4,
+		BinningRatio:   0.5,
+		BinCount:       64,
+		Devices:        2,
+		Profile:        "optane",
+		Sim:            true,
+		IndexPath:      base + ".gr.index",
+		AdjPath:        base + ".gr.adj.0",
+		InIndex:        base + ".tgr.index",
+		InAdj:          base + ".tgr.adj.0",
+	}
+	env, err := Setup(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if env.Out.NumVertices() != 1024 || env.In == nil {
+		t.Fatal("graphs not loaded")
+	}
+	if env.Cfg.ScatterProcs+env.Cfg.GatherProcs != 4 {
+		t.Errorf("compute workers = %d+%d", env.Cfg.ScatterProcs, env.Cfg.GatherProcs)
+	}
+	if env.Cfg.BinCount != 64 {
+		t.Errorf("BinCount = %d", env.Cfg.BinCount)
+	}
+	// Report must not panic on a run that did nothing.
+	devnull, _ := os.Open(os.DevNull)
+	defer devnull.Close()
+	env.Report("noop", "")
+}
+
+func TestSetupErrors(t *testing.T) {
+	base := writeTestGraph(t)
+	// Bad profile.
+	if _, err := Setup(&Options{Profile: "bad", IndexPath: base + ".gr.index", AdjPath: base + ".gr.adj.0"}); err == nil {
+		t.Error("bad profile accepted")
+	}
+	// Missing files.
+	if _, err := Setup(&Options{Profile: "optane", Devices: 1, ComputeWorkers: 2, IndexPath: "/nonexistent", AdjPath: "/nonexistent"}); err == nil {
+		t.Error("missing files accepted")
+	}
+	// startNode out of range.
+	if _, err := Setup(&Options{
+		Profile: "optane", Devices: 1, ComputeWorkers: 2, StartNode: 1 << 30,
+		IndexPath: base + ".gr.index", AdjPath: base + ".gr.adj.0",
+	}); err == nil {
+		t.Error("out-of-range startNode accepted")
+	}
+	// Missing transpose adjacency.
+	if _, err := Setup(&Options{
+		Profile: "optane", Devices: 1, ComputeWorkers: 2,
+		IndexPath: base + ".gr.index", AdjPath: base + ".gr.adj.0",
+		InIndex: base + ".tgr.index", InAdj: "/nonexistent",
+	}); err == nil {
+		t.Error("missing transpose adjacency accepted")
+	}
+}
+
+func TestBinSpaceOverride(t *testing.T) {
+	base := writeTestGraph(t)
+	env, err := Setup(&Options{
+		Profile: "optane", Devices: 1, ComputeWorkers: 2, BinSpaceMB: 8, BinCount: 16,
+		IndexPath: base + ".gr.index", AdjPath: base + ".gr.adj.0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if env.Cfg.BinSpaceBytes != 8<<20 {
+		t.Errorf("BinSpaceBytes = %d, want %d", env.Cfg.BinSpaceBytes, 8<<20)
+	}
+}

@@ -1,0 +1,250 @@
+// Package cluster implements the scale-out design the paper sketches as
+// future work (§VI): the input graph is partitioned by *destination*
+// vertex, one partition per machine, each machine holding its partition on
+// its own FNDs. A machine then processes only the edges whose destinations
+// it owns, and — because bin ownership follows destinations — all value
+// propagation between scatter and gather procs stays machine-local; the
+// network is needed only between iterations, to broadcast updated source
+// values and the new frontier.
+//
+// The model: M machines, each with its own device array and compute procs,
+// all under one virtual-time context (machines genuinely overlap in
+// simulated time). After each EdgeMap, machine m broadcasts the updated
+// vertices it owns to the other M-1 machines over a modeled full-duplex
+// link (bandwidth + latency); the next iteration starts after the slowest
+// broadcast. The Cluster implements algo.System, so all five paper queries
+// run on it unchanged and are verified against the serial references.
+package cluster
+
+import (
+	"fmt"
+
+	"blaze/algo"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/ssd"
+)
+
+// Config parameterizes the cluster.
+type Config struct {
+	// Machines is the machine count M.
+	Machines int
+	// DevicesPerMachine and Profile describe each machine's local array.
+	DevicesPerMachine int
+	Profile           ssd.Profile
+	// ComputeWorkersPerMachine is split equally between scatter and
+	// gather on each machine.
+	ComputeWorkersPerMachine int
+	// NetBandwidth is each machine's egress bandwidth in bytes/second
+	// (default 25 Gb/s) and NetLatencyNs the per-message latency.
+	NetBandwidth float64
+	NetLatencyNs int64
+	// BytesPerVertexUpdate is the wire size of one (vertex, value) update
+	// in the inter-iteration broadcast.
+	BytesPerVertexUpdate int64
+	// Engine carries the per-machine engine configuration (binning, cost
+	// model, IO buffers). Stats should be sized to
+	// Machines*DevicesPerMachine devices.
+	Engine engine.Config
+}
+
+// DefaultConfig returns an M-machine cluster of one-Optane machines with
+// 16 compute workers each and a 25 Gb/s network.
+func DefaultConfig(machines int, e int64) Config {
+	return Config{
+		Machines:                 machines,
+		DevicesPerMachine:        1,
+		Profile:                  ssd.OptaneSSD,
+		ComputeWorkersPerMachine: 16,
+		NetBandwidth:             25e9 / 8,
+		NetLatencyNs:             10_000,
+		BytesPerVertexUpdate:     16,
+		Engine:                   engine.DefaultConfig(e),
+	}
+}
+
+// Cluster is the scale-out system; it implements algo.System.
+type Cluster struct {
+	Ctx exec.Context
+	Cfg Config
+	algo.IterLog
+
+	parts map[*graph.CSR][]*engine.Graph // full graph -> per-machine partitions
+	links []exec.Resource                // per-machine egress links
+	stats *metrics.IOStats
+}
+
+// New builds a cluster under ctx.
+func New(ctx exec.Context, cfg Config) *Cluster {
+	if cfg.Machines < 1 {
+		cfg.Machines = 1
+	}
+	if cfg.ComputeWorkersPerMachine < 2 {
+		cfg.ComputeWorkersPerMachine = 2
+	}
+	cl := &Cluster{
+		Ctx:     ctx,
+		Cfg:     cfg,
+		IterLog: algo.IterLog{Stats: cfg.Engine.Stats},
+		parts:   map[*graph.CSR][]*engine.Graph{},
+		stats:   cfg.Engine.Stats,
+	}
+	cl.links = make([]exec.Resource, cfg.Machines)
+	for m := range cl.links {
+		cl.links[m] = ctx.NewResource(fmt.Sprintf("net%d", m))
+	}
+	return cl
+}
+
+// Name implements algo.System.
+func (cl *Cluster) Name() string { return fmt.Sprintf("blaze-scaleout-%dx", cl.Cfg.Machines) }
+
+// owner returns the machine owning vertex v's data. Ownership hashes the
+// vertex ID: neither range nor plain modular partitioning balances edges
+// on R-MAT graphs, whose self-similar construction skews every bit of the
+// destination ID (both put ~58% of edges on one of four machines). A mixed
+// hash spreads the in-degree mass evenly, which is what the paper's
+// destination-partitioned scale-out sketch needs to avoid re-creating the
+// skew problems of §III at cluster scale.
+func (cl *Cluster) owner(v, n uint32) int {
+	x := uint64(v)
+	x = (x ^ (x >> 16)) * 0x45d9f3b
+	x = (x ^ (x >> 16)) * 0x45d9f3b
+	x ^= x >> 16
+	return int(x % uint64(cl.Cfg.Machines))
+}
+
+// partitionsFor lazily builds the destination partitions of one graph.
+// Machine m's partition keeps every edge (s,d) with owner(d) == m over the
+// full vertex ID space, placed on m's own device array.
+func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
+	if ps, ok := cl.parts[g.CSR]; ok {
+		return ps
+	}
+	c := g.CSR
+	if c.Adj == nil {
+		panic("cluster: graph must have in-memory adjacency to partition")
+	}
+	M := cl.Cfg.Machines
+	srcs := make([][]uint32, M)
+	dsts := make([][]uint32, M)
+	for v := uint32(0); v < c.V; v++ {
+		b, e := c.EdgeRange(v)
+		for i := b; i < e; i++ {
+			d := graph.GetEdge(c.Adj, i)
+			m := cl.owner(d, c.V)
+			srcs[m] = append(srcs[m], v)
+			dsts[m] = append(dsts[m], d)
+		}
+	}
+	ps := make([]*engine.Graph, M)
+	for m := 0; m < M; m++ {
+		sub := graph.Build(c.V, srcs[m], dsts[m])
+		devs := make([]*ssd.Device, cl.Cfg.DevicesPerMachine)
+		for d := 0; d < cl.Cfg.DevicesPerMachine; d++ {
+			id := m*cl.Cfg.DevicesPerMachine + d
+			var backing ssd.Backing
+			if cl.Cfg.DevicesPerMachine == 1 {
+				backing = &ssd.MemBacking{Data: sub.Adj}
+			} else {
+				backing = &ssd.StripeView{Src: byteReaderAt(sub.Adj), SrcSize: int64(len(sub.Adj)), Dev: d, NumDev: cl.Cfg.DevicesPerMachine}
+			}
+			devs[d] = ssd.NewDevice(cl.Ctx, id, cl.Cfg.Profile, backing, cl.stats, nil)
+		}
+		ps[m] = &engine.Graph{
+			Name:     fmt.Sprintf("%s@m%d", g.Name, m),
+			CSR:      sub,
+			Arr:      ssd.NewArray(devs, sub.NumPages()),
+			Locality: g.Locality,
+			HotFrac:  g.HotFrac,
+		}
+	}
+	cl.parts[g.CSR] = ps
+	return ps
+}
+
+// EdgeMap implements algo.System: every machine runs the local engine over
+// its destination partition concurrently; the output frontiers (disjoint by
+// ownership) are merged, and each machine's updated vertices are broadcast
+// over its link before the call returns.
+func (cl *Cluster) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
+	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+
+	parts := cl.partitionsFor(g)
+	M := cl.Cfg.Machines
+	f.Seal()
+
+	cfg := cl.Cfg.Engine
+	cfg = cfg.WithThreads(cl.Cfg.ComputeWorkersPerMachine, 0.5)
+
+	outs := make([]*frontier.VertexSubset, M)
+	wg := cl.Ctx.NewWaitGroup()
+	wg.Add(M)
+	for m := 0; m < M; m++ {
+		machine := m
+		cl.Ctx.Go(fmt.Sprintf("machine%d", machine), func(mp exec.Proc) {
+			out, _ := engine.EdgeMap(cl.Ctx, mp, parts[machine], f,
+				fns.Scatter, fns.Gather, fns.Cond, output, cfg)
+			outs[machine] = out
+			if output && out != nil {
+				// Broadcast this machine's updated vertices to the other
+				// M-1 machines.
+				bytes := out.Count() * cl.Cfg.BytesPerVertexUpdate * int64(M-1)
+				if bytes > 0 {
+					busy := cl.Cfg.NetLatencyNs + int64(float64(bytes)/cl.Cfg.NetBandwidth*1e9)
+					cl.links[machine].Acquire(mp, busy)
+				}
+			}
+			wg.Done(mp)
+		})
+	}
+	wg.Wait(p)
+	if !output {
+		return nil
+	}
+	merged := frontier.NewVertexSubset(g.CSR.V)
+	for _, o := range outs {
+		merged.Merge(o)
+	}
+	merged.Seal()
+	return merged
+}
+
+// VertexMap implements algo.System: vertex data is sharded by owner, so
+// machines apply fn to their shards in parallel; updated vertices are
+// broadcast like EdgeMap outputs.
+func (cl *Cluster) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset {
+	f.Seal()
+	out := frontier.NewVertexSubset(f.N())
+	perOwner := make([]int64, cl.Cfg.Machines)
+	f.ForEach(func(v uint32) {
+		perOwner[cl.owner(v, f.N())]++
+		if fn(v) {
+			out.Add(v)
+		}
+	})
+	// The phase ends when the busiest machine finishes its shard.
+	var maxShare int64
+	for _, n := range perOwner {
+		if n > maxShare {
+			maxShare = n
+		}
+	}
+	p.Advance(cl.Cfg.Engine.Model.VertexOp * maxShare / int64(cl.Cfg.ComputeWorkersPerMachine))
+	out.Seal()
+	return out
+}
+
+// byteReaderAt adapts a byte slice for StripeView.
+type byteReaderAt []byte
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(b)) {
+		return 0, fmt.Errorf("cluster: read past end")
+	}
+	n := copy(p, b[off:])
+	return n, nil
+}

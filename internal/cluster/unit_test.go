@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+
+	"blaze/internal/exec"
+)
+
+// TestHashOwnershipBalances: hashed ownership spreads skewed in-degree
+// mass evenly — the property range and plain-modulo partitioning lack on
+// R-MAT graphs (see the owner doc comment).
+func TestHashOwnershipBalances(t *testing.T) {
+	ctx := exec.NewSim()
+	cl := New(ctx, DefaultConfig(8, 1000))
+	const n = 1 << 16
+	var mass [8]int64
+	var total int64
+	for v := uint32(0); v < n; v++ {
+		// Self-similar skew: degree decays with the number of set bits,
+		// mimicking R-MAT's bit-wise bias.
+		deg := int64(1)
+		if v&0x3 == 0 {
+			deg = 8
+		}
+		m := cl.owner(v, n)
+		if m < 0 || m >= 8 {
+			t.Fatalf("owner(%d) = %d", v, m)
+		}
+		mass[m] += deg
+		total += deg
+	}
+	for m, b := range mass {
+		share := float64(b) / float64(total)
+		if share < 0.08 || share > 0.18 {
+			t.Errorf("machine %d share %.3f outside [0.08,0.18]", m, share)
+		}
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	ctx := exec.NewSim()
+	cl := New(ctx, DefaultConfig(4, 1000))
+	for v := uint32(0); v < 1000; v++ {
+		if cl.owner(v, 1000) != cl.owner(v, 1000) {
+			t.Fatal("owner not deterministic")
+		}
+	}
+}

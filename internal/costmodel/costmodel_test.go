@@ -1,0 +1,53 @@
+package costmodel
+
+import "testing"
+
+func TestDefaultsAreOrdered(t *testing.T) {
+	m := Default()
+	// The model's structural assumptions: sequential work is cheap,
+	// scattered updates expensive, contention dominant.
+	if m.EdgeScan >= m.GatherUpdate {
+		t.Error("edge scan should be far cheaper than a scattered update")
+	}
+	if m.GatherUpdate > m.RandomUpdate || m.RandomUpdate > m.MsgProcess {
+		t.Error("binned gather <= inline update <= message processing expected")
+	}
+	if m.HotContention <= m.AtomicExtra {
+		t.Error("hot-line contention should dwarf an uncontended CAS")
+	}
+}
+
+func TestScatterEdge(t *testing.T) {
+	m := Default()
+	if m.ScatterEdge(false) != m.EdgeScan {
+		t.Error("non-producing scatter should cost only the scan")
+	}
+	if m.ScatterEdge(true) != m.EdgeScan+m.RecordAppend {
+		t.Error("producing scatter should add the record append")
+	}
+}
+
+func TestUpdateLocalityDiscount(t *testing.T) {
+	m := Default()
+	full := m.Update(100, 0)
+	if full != 100 {
+		t.Errorf("zero-locality update = %d, want 100", full)
+	}
+	high := m.Update(100, 1)
+	if high >= full {
+		t.Error("high locality must discount the update")
+	}
+	if got := m.Update(100, 1.5); got < 0 {
+		t.Errorf("over-unity locality produced negative cost %d", got)
+	}
+}
+
+func TestIOSubmitGrowsWithSize(t *testing.T) {
+	m := Default()
+	if m.IOSubmit(32) <= m.IOSubmit(1) {
+		t.Error("large IO submission must cost more (Graphene's pathology)")
+	}
+	if m.IOSubmit(1) != m.IOSubmitBase+m.IOSubmitPerPage {
+		t.Error("single-page submission formula wrong")
+	}
+}

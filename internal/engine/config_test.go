@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+)
+
+func TestEdgeMapRejectsInvalidConfig(t *testing.T) {
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.ScatterProcs = 0 },
+		func(c *Config) { c.GatherProcs = 0 },
+		func(c *Config) { c.MaxMergePages = 0 },
+	} {
+		ctx := exec.NewSim()
+		g, c := testGraph(ctx, 1, nil)
+		conf := DefaultConfig(c.E)
+		mod(&conf)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			ctx.Run("main", func(p exec.Proc) {
+				EdgeMap(ctx, p, g, frontier.All(c.V),
+					func(s, d uint32) int64 { return 0 },
+					func(d uint32, v int64) bool { return false },
+					func(d uint32) bool { return true },
+					false, conf)
+			})
+		}()
+	}
+}
+
+func TestDefaultConfigClamps(t *testing.T) {
+	small := DefaultConfig(10)
+	if small.BinSpaceBytes != 4<<20 {
+		t.Errorf("tiny graph bin space = %d, want 4MB floor", small.BinSpaceBytes)
+	}
+	huge := DefaultConfig(1 << 40)
+	if huge.BinSpaceBytes != 256<<20 {
+		t.Errorf("huge graph bin space = %d, want 256MB cap", huge.BinSpaceBytes)
+	}
+	mid := DefaultConfig(50 << 20)
+	if mid.BinSpaceBytes != 50<<20 {
+		t.Errorf("mid graph bin space = %d, want |E| bytes", mid.BinSpaceBytes)
+	}
+}
+
+func TestWithThreadsMinimum(t *testing.T) {
+	c := DefaultConfig(1000).WithThreads(1, 0.5) // below minimum
+	if c.ScatterProcs < 1 || c.GatherProcs < 1 {
+		t.Error("WithThreads produced an empty side")
+	}
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+
+	"blaze/internal/bin"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// ioBuffer is one IO buffer: up to MaxMergePages device-contiguous pages
+// read from a single device.
+type ioBuffer struct {
+	data       []byte
+	dev        int
+	localStart int64
+	numPages   int
+}
+
+// Stats summarizes one EdgeMap execution.
+type Stats struct {
+	PagesRead     int64
+	EdgesScanned  int64
+	Records       int64
+	VerticesMoved int64 // output frontier size
+}
+
+// EdgeMap executes the two edge functions over the edges whose source
+// vertices are in f (§IV-B):
+//
+//	scatter(s, d)  returns the value to propagate along edge s→d; called
+//	               only when cond(d) is true.
+//	gather(d, v)   accumulates v into d's algorithm data; its boolean
+//	               return activates d in the output frontier.
+//	cond(d)        prunes propagation (e.g. "not yet visited").
+//
+// When output is true the new frontier is returned; otherwise nil.
+// The value flow runs through online binning, so gather needs no atomics.
+func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexSubset,
+	scatter func(s, d uint32) V,
+	gather func(d uint32, v V) bool,
+	cond func(d uint32) bool,
+	output bool, cfg Config) (*frontier.VertexSubset, Stats) {
+
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	var st Stats
+	m := cfg.Model
+	c := g.CSR
+	numDev := g.Arr.NumDevices()
+	computeProcs := cfg.ScatterProcs + cfg.GatherProcs
+
+	// Step 1: vertex frontier -> per-device page frontiers. The paper uses
+	// all available threads for this transformation; we execute it on the
+	// calling proc and charge the modeled parallel cost.
+	f.Seal()
+	ps := frontier.PagesOf(f, c, numDev)
+	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
+	if ps.Pages() == 0 {
+		return frontier.NewVertexSubset(c.V), st
+	}
+
+	// IO buffers and their two MPMC queues (steps 2-4, 7).
+	bufPages := cfg.MaxMergePages
+	bufCount := int(cfg.IOBufferBytes / int64(bufPages*ssd.PageSize))
+	if bufCount < 2*numDev {
+		bufCount = 2 * numDev
+	}
+	if int64(bufCount) > ps.Pages()+int64(2*numDev) {
+		bufCount = int(ps.Pages()) + 2*numDev // no point allocating more
+	}
+	free := exec.NewQueue[*ioBuffer](ctx, bufCount)
+	filled := exec.NewQueue[*ioBuffer](ctx, bufCount)
+	for i := 0; i < bufCount; i++ {
+		free.Push(p, &ioBuffer{data: make([]byte, bufPages*ssd.PageSize)})
+	}
+	if cfg.Mem != nil {
+		cfg.Mem.Set("io-buffers", int64(bufCount)*int64(bufPages)*ssd.PageSize)
+	}
+
+	// Online bins (steps 6, 8).
+	recordBytes := 4 + approxValBytes[V]()
+	bm := bin.NewManager[V](ctx, bin.Config{
+		BinCount:    cfg.BinCount,
+		SpaceBytes:  cfg.BinSpaceBytes,
+		RecordBytes: recordBytes,
+		StageCap:    cfg.StageCap,
+		FlushCostNs: m.BinFlush,
+	})
+	bm.Prime(p)
+	if cfg.Mem != nil {
+		cfg.Mem.Set("bin-space", bm.MemBytes(recordBytes))
+		cfg.Mem.Set("frontier", f.Bytes())
+	}
+
+	// IO procs: one per device (step 2), merging up to MaxMergePages
+	// device-contiguous pages per request and never merging across gaps.
+	ioWG := ctx.NewWaitGroup()
+	ioWG.Add(numDev)
+	for d := 0; d < numDev; d++ {
+		dev := d
+		pages := ps.PerDev[d]
+		ctx.Go(fmt.Sprintf("io%d", dev), func(io exec.Proc) {
+			device := g.Arr.Device(dev)
+			cache := cfg.PageCache
+			i := 0
+			for i < len(pages) {
+				buf, ok := free.Pop(io)
+				if !ok {
+					break
+				}
+				buf.dev = dev
+				// Page-cache hit: serve from memory, no device time.
+				if cache.Enabled() {
+					logical := g.Arr.Logical(dev, pages[i])
+					if cache.Get(pagecache.Key{Graph: g.CSR, Logical: logical}, buf.data[:ssd.PageSize]) {
+						buf.localStart = pages[i]
+						buf.numPages = 1
+						io.Advance(m.PageOverhead / 2)
+						filled.Push(io, buf)
+						i++
+						continue
+					}
+				}
+				run := 1
+				for run < cfg.MaxMergePages && i+run < len(pages) && pages[i+run] == pages[i]+int64(run) {
+					run++
+				}
+				buf.localStart = pages[i]
+				buf.numPages = run
+				io.Advance(m.IOSubmit(run))
+				done, err := device.ScheduleRead(io, pages[i], run, buf.data[:run*ssd.PageSize])
+				if err != nil {
+					panic(err)
+				}
+				if cache.Enabled() {
+					io.Sync()
+					for pg := 0; pg < run; pg++ {
+						logical := g.Arr.Logical(dev, pages[i]+int64(pg))
+						cache.Put(pagecache.Key{Graph: g.CSR, Logical: logical},
+							buf.data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+					}
+				}
+				filled.PushAt(io, buf, done)
+				i += run
+			}
+			ioWG.Done(io)
+		})
+	}
+	// Closer proc ends the filled stream once all IO procs finish.
+	ctx.Go("io-closer", func(cp exec.Proc) {
+		ioWG.Wait(cp)
+		filled.Close()
+	})
+
+	// Scatter procs (steps 5-7).
+	scatterWG := ctx.NewWaitGroup()
+	scatterWG.Add(cfg.ScatterProcs)
+	scatStats := make([]Stats, cfg.ScatterProcs)
+	for i := 0; i < cfg.ScatterProcs; i++ {
+		id := i
+		ctx.Go(fmt.Sprintf("scatter%d", id), func(sp exec.Proc) {
+			stager := bm.NewStager()
+			local := &scatStats[id]
+			for {
+				buf, ok := filled.Pop(sp)
+				if !ok {
+					break
+				}
+				for pg := 0; pg < buf.numPages; pg++ {
+					logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
+					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+					scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
+				}
+				local.PagesRead += int64(buf.numPages)
+				free.Push(sp, buf)
+			}
+			stager.FlushAll(sp)
+			scatterWG.Done(sp)
+		})
+	}
+
+	// Gather procs (steps 8-9) with per-proc output frontiers.
+	gatherWG := ctx.NewWaitGroup()
+	gatherWG.Add(cfg.GatherProcs)
+	outFronts := make([]*frontier.VertexSubset, cfg.GatherProcs)
+	for i := 0; i < cfg.GatherProcs; i++ {
+		id := i
+		ctx.Go(fmt.Sprintf("gather%d", id), func(gp exec.Proc) {
+			var out *frontier.VertexSubset
+			if output {
+				out = frontier.NewVertexSubset(c.V)
+			}
+			updCost := m.Update(m.GatherUpdate, g.Locality)
+			for {
+				bb, ok := bm.Full.Pop(gp)
+				if !ok {
+					break
+				}
+				gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
+				for _, r := range bb.Records {
+					if gather(r.Dst, r.Val) && output {
+						out.Add(r.Dst)
+					}
+				}
+				bm.Return(gp, bb)
+			}
+			outFronts[id] = out
+			gatherWG.Done(gp)
+		})
+	}
+
+	// Coordinate shutdown: scatters finish -> publish partial bins ->
+	// close the full stream -> gathers finish -> merge output frontiers.
+	scatterWG.Wait(p)
+	bm.FlushPartials(p)
+	bm.CloseFull()
+	gatherWG.Wait(p)
+
+	for _, s := range scatStats {
+		st.PagesRead += s.PagesRead
+		st.EdgesScanned += s.EdgesScanned
+	}
+	st.Records = bm.Records()
+	if !output {
+		return nil, st
+	}
+	merged := frontier.NewVertexSubset(c.V)
+	for _, of := range outFronts {
+		merged.Merge(of)
+	}
+	merged.Seal()
+	p.Advance(m.VertexOp * merged.Count() / int64(computeProcs))
+	st.VerticesMoved = merged.Count()
+	return merged, st
+}
+
+// scanPage applies the scatter step to one fetched page, binning a record
+// per edge that passes cond.
+func scanPage[V any](sp exec.Proc, g *Graph, f *frontier.VertexSubset, logical int64,
+	pageData []byte, stager *bin.Stager[V],
+	scatter func(s, d uint32) V, cond func(d uint32) bool,
+	cfg Config, st *Stats) {
+
+	var produced int64
+	vertices, edges := ForEachActiveEdge(g.CSR, f, logical, pageData, func(s, d uint32) {
+		if cond(d) {
+			stager.Emit(sp, d, scatter(s, d))
+			produced++
+		}
+	})
+	st.EdgesScanned += edges
+	sp.Advance(cfg.Model.PageOverhead +
+		cfg.Model.VertexOp*vertices +
+		cfg.Model.EdgeScan*edges +
+		cfg.Model.RecordAppend*produced)
+}
+
+// VertexMap applies fn to every vertex in f and returns the subset of
+// vertices for which fn returned true (§IV-B). It executes in memory; the
+// modeled cost assumes all compute procs participate.
+func VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(v uint32) bool, cfg Config) *frontier.VertexSubset {
+	f.Seal()
+	out := frontier.NewVertexSubset(f.N())
+	f.ForEach(func(v uint32) {
+		if fn(v) {
+			out.Add(v)
+		}
+	})
+	procs := cfg.ScatterProcs + cfg.GatherProcs
+	if procs < 1 {
+		procs = 1
+	}
+	p.Advance(cfg.Model.VertexOp * f.Count() / int64(procs))
+	out.Seal()
+	return out
+}
+
+// approxValBytes estimates sizeof(V) for bin sizing without unsafe: it
+// relies on the engine's value types being at most 8 bytes (uint32, int32,
+// float32, float64, uint64 are what the algorithms use).
+func approxValBytes[V any]() int {
+	var v V
+	switch any(v).(type) {
+	case uint8, int8, bool:
+		return 1
+	case uint16, int16:
+		return 2
+	case uint32, int32, float32:
+		return 4
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"blaze/gen"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/ssd"
+)
+
+// TestEdgeMapFromFiles drives the whole out-of-core path against a real
+// on-disk graph: write the artifact files, load with FromFiles (index-only
+// CSR, adjacency via file-backed striped devices), run a full EdgeMap under
+// both backends, and compare against in-memory ground truth.
+func TestEdgeMapFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 77, V: 4096, E: 50000}
+	src, dst := pr.Generate()
+	c := graph.Build(pr.V, src, dst)
+	base := filepath.Join(dir, "g")
+	if err := graph.WriteFiles(c, nil, base); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int64, c.V)
+	for i := int64(0); i < c.E; i++ {
+		want[graph.GetEdge(c.Adj, i)]++
+	}
+
+	for _, tc := range []struct {
+		name   string
+		ctx    exec.Context
+		numDev int
+	}{
+		{"sim-1dev", exec.NewSim(), 1},
+		{"sim-3dev", exec.NewSim(), 3},
+		{"real-2dev", exec.NewReal(), 2},
+	} {
+		stats := metrics.NewIOStats(tc.numDev)
+		g, err := FromFiles(tc.ctx, "g", base+".gr.index", base+".gr.adj.0", tc.numDev, ssd.OptaneSSD, stats, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int64, c.V)
+		conf := DefaultConfig(c.E)
+		conf.ScatterProcs, conf.GatherProcs = 4, 4
+		conf.Stats = stats
+		tc.ctx.Run("main", func(p exec.Proc) {
+			EdgeMap(tc.ctx, p, g, frontier.All(c.V),
+				func(s, d uint32) int64 { return 1 },
+				func(d uint32, v int64) bool { got[d] += v; return false },
+				func(d uint32) bool { return true },
+				false, conf)
+		})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: in-degree(%d) = %d, want %d", tc.name, v, got[v], want[v])
+			}
+		}
+		if stats.TotalBytes() == 0 {
+			t.Errorf("%s: no device reads recorded", tc.name)
+		}
+		if err := g.Close(); err != nil {
+			t.Errorf("%s: Close: %v", tc.name, err)
+		}
+		if err := g.Close(); err != nil { // idempotent
+			t.Errorf("%s: second Close: %v", tc.name, err)
+		}
+	}
+}
+
+// TestFromFilesErrors surfaces missing or mismatched files.
+func TestFromFilesErrors(t *testing.T) {
+	ctx := exec.NewSim()
+	dir := t.TempDir()
+	if _, err := FromFiles(ctx, "x", dir+"/missing.gr.index", dir+"/missing.adj", 1, ssd.OptaneSSD, nil, nil); err == nil {
+		t.Error("missing index did not error")
+	}
+	// Valid index, missing adjacency.
+	c := graph.Build(16, []uint32{0}, []uint32{1})
+	if err := graph.WriteIndex(c, dir+"/g.gr.index"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFiles(ctx, "x", dir+"/g.gr.index", dir+"/missing.adj", 1, ssd.OptaneSSD, nil, nil); err == nil {
+		t.Error("missing adjacency did not error")
+	}
+}
+
+// TestRepeatedEdgeMapsShareState: the same Graph handle must serve many
+// EdgeMap calls (iterative algorithms) with correct, independent results.
+func TestRepeatedEdgeMapsShareState(t *testing.T) {
+	ctx := exec.NewSim()
+	stats := metrics.NewIOStats(1)
+	g, c := testGraph(ctx, 1, stats)
+	conf := DefaultConfig(c.E)
+	conf.Stats = stats
+	ctx.Run("main", func(p exec.Proc) {
+		var prevBytes int64
+		for iter := 0; iter < 3; iter++ {
+			count := int64(0)
+			EdgeMap(ctx, p, g, frontier.All(c.V),
+				func(s, d uint32) int64 { return 1 },
+				func(d uint32, v int64) bool { count += v; return false },
+				func(d uint32) bool { return true },
+				false, conf)
+			if count != c.E {
+				t.Fatalf("iteration %d saw %d edges, want %d", iter, count, c.E)
+			}
+			grew := stats.TotalBytes() - prevBytes
+			if grew != c.NumPages()*ssd.PageSize {
+				t.Fatalf("iteration %d read %d bytes, want %d", iter, grew, c.NumPages()*ssd.PageSize)
+			}
+			prevBytes = stats.TotalBytes()
+		}
+	})
+}
+
+// TestEdgeMapValueTypes exercises the generic engine with every value type
+// the algorithms use.
+func TestEdgeMapValueTypes(t *testing.T) {
+	ctx := exec.NewSim()
+	g, c := testGraph(ctx, 1, nil)
+	conf := DefaultConfig(c.E)
+	ctx.Run("main", func(p exec.Proc) {
+		var f32 float32
+		EdgeMap(ctx, p, g, frontier.All(c.V),
+			func(s, d uint32) float32 { return 0.5 },
+			func(d uint32, v float32) bool { f32 += v; return false },
+			func(d uint32) bool { return true }, false, conf)
+		if f32 == 0 {
+			t.Error("float32 values lost")
+		}
+		var u64 uint64
+		EdgeMap(ctx, p, g, frontier.All(c.V),
+			func(s, d uint32) uint64 { return 3 },
+			func(d uint32, v uint64) bool { u64 += v; return false },
+			func(d uint32) bool { return true }, false, conf)
+		if u64 != uint64(c.E)*3 {
+			t.Errorf("uint64 sum = %d, want %d", u64, c.E*3)
+		}
+	})
+}
+
+// TestApproxValBytes pins the record-size estimation used for bin sizing.
+func TestApproxValBytes(t *testing.T) {
+	if approxValBytes[bool]() != 1 || approxValBytes[uint16]() != 2 ||
+		approxValBytes[float32]() != 4 || approxValBytes[float64]() != 8 ||
+		approxValBytes[uint32]() != 4 || approxValBytes[int64]() != 8 {
+		t.Error("approxValBytes misestimates a value type")
+	}
+}

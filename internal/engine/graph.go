@@ -1,0 +1,180 @@
+// Package engine implements Blaze's out-of-core EdgeMap execution engine
+// (§IV-C, Fig. 5): vertex frontier → page frontier → per-SSD IO procs with
+// free/filled buffer queues → scatter procs → online bins → gather procs →
+// output frontier. VertexMap executes in memory over the vertex frontier.
+package engine
+
+import (
+	"fmt"
+	"os"
+
+	"blaze/gen"
+	"blaze/internal/costmodel"
+	"blaze/internal/exec"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// Graph is a runtime graph handle: the in-memory metadata (index and
+// page→vertex map inside CSR) plus the device array holding the adjacency.
+type Graph struct {
+	Name string
+	CSR  *graph.CSR
+	Arr  *ssd.Array
+	// Locality in [0,1] summarizes cache friendliness of the dataset
+	// (from its generator preset); feeds the cost model's discount.
+	Locality float64
+	// HotFrac is the fraction of edges targeting top-0.1%-in-degree
+	// vertices, computed from the real in-degree distribution; it prices
+	// atomic contention in the synchronization-based engines.
+	HotFrac float64
+
+	file *os.File // backing file when loaded from disk, for Close
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() uint32 { return g.CSR.V }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int64 { return g.CSR.E }
+
+// Close releases the backing file, if any.
+func (g *Graph) Close() error {
+	if g.file != nil {
+		err := g.file.Close()
+		g.file = nil
+		return err
+	}
+	return nil
+}
+
+// FromCSR wraps an in-memory CSR (adjacency required) as a device-backed
+// graph striped over numDev devices with the given profile.
+func FromCSR(ctx exec.Context, name string, c *graph.CSR, numDev int, prof ssd.Profile,
+	stats *metrics.IOStats, tl *metrics.Timeline) *Graph {
+	if c.Adj == nil {
+		panic("engine: FromCSR requires in-memory adjacency")
+	}
+	arr := ssd.NewMemArray(ctx, numDev, prof, c.Adj, stats, tl)
+	return &Graph{Name: name, CSR: c, Arr: arr}
+}
+
+// FromFiles loads <indexPath> and exposes <adjPath> through numDev striped
+// devices. The CSR is index-only; the adjacency stays on disk.
+func FromFiles(ctx exec.Context, name, indexPath, adjPath string, numDev int, prof ssd.Profile,
+	stats *metrics.IOStats, tl *metrics.Timeline) (*Graph, error) {
+	c, err := graph.ReadIndex(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	f, size, err := graph.OpenAdj(adjPath, c)
+	if err != nil {
+		return nil, err
+	}
+	devs := make([]*ssd.Device, numDev)
+	for i := 0; i < numDev; i++ {
+		var b ssd.Backing = &ssd.StripeView{Src: f, SrcSize: size, Dev: i, NumDev: numDev}
+		devs[i] = ssd.NewDevice(ctx, i, prof, b, stats, tl)
+	}
+	arr := ssd.NewArray(devs, c.NumPages())
+	return &Graph{Name: name, CSR: c, Arr: arr, file: f}, nil
+}
+
+// BuildPreset generates a preset dataset in memory and wraps forward and
+// transpose graphs, annotating locality and hot-edge fraction.
+func BuildPreset(ctx exec.Context, p gen.Preset, numDev int, prof ssd.Profile,
+	stats *metrics.IOStats, tl *metrics.Timeline) (out, in *Graph) {
+	src, dst := p.Generate()
+	c := graph.Build(p.V, src, dst)
+	tr := c.Transpose()
+	hot := graph.HotEdgeFraction(tr.Degrees, 0.001)
+	out = FromCSR(ctx, p.Name, c, numDev, prof, stats, tl)
+	in = FromCSR(ctx, p.Name+".t", tr, numDev, prof, stats, tl)
+	out.Locality, in.Locality = p.Locality, p.Locality
+	out.HotFrac, in.HotFrac = hot, hot
+	return out, in
+}
+
+// Config parameterizes one engine instance.
+type Config struct {
+	// ScatterProcs and GatherProcs set the computation proc counts; the
+	// paper's default binning ratio of 0.5 means equal counts.
+	ScatterProcs int
+	GatherProcs  int
+	// MaxMergePages caps contiguous-page merging per IO request (§IV-C:
+	// Blaze merges up to four 4 kB pages and never merges across gaps).
+	MaxMergePages int
+	// IOBufferBytes is the static IO buffer space (64 MB in the paper).
+	IOBufferBytes int64
+	// BinCount and BinSpaceBytes configure online binning; StageCap
+	// overrides the per-proc staging capacity (0 = default, for the
+	// staging-buffer ablation).
+	BinCount      int
+	BinSpaceBytes int64
+	StageCap      int
+	// PageCache, when non-nil, caches fetched pages across EdgeMap calls
+	// with LRU eviction. The paper's Blaze only evicts IO buffers
+	// randomly and names better eviction policies as future work; this is
+	// that extension (see the pagecache ablation experiment).
+	PageCache *pagecache.Cache
+	// Model is the virtual-time cost model.
+	Model costmodel.Model
+	// Stats and Mem receive measurements; either may be nil.
+	Stats *metrics.IOStats
+	Mem   *metrics.MemAccount
+}
+
+// DefaultConfig mirrors the paper's defaults for a graph with e edges:
+// equal scatter/gather procs (8+8 of 16 compute workers), 4-page merge cap,
+// 64 MB IO buffers, 1024 bins, and bin space of ~1 byte/edge clamped to
+// [4 MB, 256 MB] — the paper's artifact used a flat 256 MB on graphs of
+// 8.5-500 GB, and Fig. 10 shows the plateau starts at a few bytes of bin
+// space per edge.
+func DefaultConfig(e int64) Config {
+	space := e
+	if space < 4<<20 {
+		space = 4 << 20
+	}
+	if space > 256<<20 {
+		space = 256 << 20
+	}
+	return Config{
+		ScatterProcs:  8,
+		GatherProcs:   8,
+		MaxMergePages: 4,
+		IOBufferBytes: 64 << 20,
+		BinCount:      1024,
+		BinSpaceBytes: space,
+		Model:         costmodel.Default(),
+	}
+}
+
+// WithThreads returns the config with computeWorkers split between scatter
+// and gather by ratio (0.5 = equal, the paper's default).
+func (c Config) WithThreads(computeWorkers int, ratio float64) Config {
+	if computeWorkers < 2 {
+		computeWorkers = 2
+	}
+	s := int(float64(computeWorkers)*ratio + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	if s >= computeWorkers {
+		s = computeWorkers - 1
+	}
+	c.ScatterProcs = s
+	c.GatherProcs = computeWorkers - s
+	return c
+}
+
+func (c Config) validate() error {
+	if c.ScatterProcs < 1 || c.GatherProcs < 1 {
+		return fmt.Errorf("engine: need at least one scatter and one gather proc")
+	}
+	if c.MaxMergePages < 1 {
+		return fmt.Errorf("engine: MaxMergePages must be >= 1")
+	}
+	return nil
+}

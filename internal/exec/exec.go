@@ -1,0 +1,129 @@
+// Package exec is the execution substrate that lets the Blaze engine, its
+// baselines, and its benchmarks run under two interchangeable clocks:
+//
+//   - Real: plain goroutines, mutex-based MPMC queues, and wall-clock time.
+//     Used by the examples, the CLI tools, and correctness tests.
+//   - Sim: a deterministic cooperative virtual-time scheduler (a sequential
+//     discrete-event execution). Procs carry virtual clocks, compute cost is
+//     charged explicitly via Advance, and queues/wait-groups/barriers/
+//     resources have virtual-time semantics. Used by the benchmark harness
+//     to regenerate the paper's tables and figures on hardware that has
+//     neither 20 cores nor an Optane SSD.
+//
+// The Sim backend executes the *real* computation (actual graphs, actual
+// algorithm state); only timing is modeled. Procs are scheduled one at a
+// time in increasing virtual-clock order, so results are bit-deterministic
+// across runs regardless of GOMAXPROCS.
+//
+// Engine code follows one rule: every interaction with state shared across
+// procs happens either through an exec primitive (Queue, WaitGroup, Barrier,
+// Resource) or after calling Proc.Sync, which in the Sim backend parks the
+// proc until it holds the minimum virtual clock. Blocking with primitives
+// outside this package (channels, sync.Cond) would deadlock the simulation.
+package exec
+
+// Proc is one simulated or real thread of execution. A Proc must only be
+// used by the goroutine it was handed to.
+type Proc interface {
+	// Advance charges ns nanoseconds of compute cost to this proc's clock.
+	// It is a no-op under the Real backend, where computation takes real
+	// time.
+	Advance(ns int64)
+	// Now returns this proc's clock in nanoseconds since Run started:
+	// virtual time under Sim, wall time under Real.
+	Now() int64
+	// Sync orders this proc against all others. Under Sim it blocks until
+	// the proc holds the minimal virtual clock, making a subsequent access
+	// to shared state occur in global timestamp order. Under Real it is a
+	// no-op (callers protect shared state with their own mutexes, which
+	// are uncontended under Sim because procs run one at a time).
+	Sync()
+	// Name returns the debug name given to Go or Run.
+	Name() string
+}
+
+// Context creates procs and synchronization primitives for one execution.
+type Context interface {
+	// Go starts fn as a new proc. It must be called from a running proc
+	// (including the root proc passed to Run).
+	Go(name string, fn func(Proc))
+	// NewWaitGroup returns a wait group usable across procs.
+	NewWaitGroup() WaitGroup
+	// NewBarrier returns a cyclic barrier for n procs.
+	NewBarrier(n int) Barrier
+	// NewResource returns a serially-shared timed resource (e.g. one SSD's
+	// bandwidth).
+	NewResource(name string) Resource
+	// Run executes fn as the root proc and returns when fn and, under Sim,
+	// every proc it spawned have finished.
+	Run(name string, fn func(Proc))
+	// IsSim reports whether this context uses virtual time.
+	IsSim() bool
+}
+
+// WaitGroup mirrors sync.WaitGroup with proc-aware Done/Wait so the Sim
+// backend can propagate virtual completion times to waiters.
+type WaitGroup interface {
+	Add(delta int)
+	Done(p Proc)
+	Wait(p Proc)
+}
+
+// Barrier is a cyclic barrier: the nth arriving proc releases all waiters,
+// and under Sim every released proc resumes at the maximum arrival clock.
+type Barrier interface {
+	Wait(p Proc)
+}
+
+// Resource models a device that serves requests serially at a given speed
+// (the caller computes the busy time per request). Under Sim, Acquire jumps
+// the caller's clock to the request's completion time; under Real it paces
+// the caller with short sleeps so wall-clock throughput matches the model.
+type Resource interface {
+	// Acquire blocks p for busy nanoseconds of exclusive resource time and
+	// returns the completion timestamp on p's clock.
+	Acquire(p Proc, busy int64) int64
+	// Schedule enqueues busy nanoseconds of resource work asynchronously:
+	// it extends the resource horizon and returns the completion timestamp
+	// without advancing p's clock. This models asynchronous IO, where the
+	// submitting thread keeps running while the device works; the caller
+	// typically hands the completion time to Queue.PushAt.
+	Schedule(p Proc, busy int64) int64
+	// BusyUntil returns the resource's current horizon (last completion
+	// timestamp), for utilization accounting.
+	BusyUntil() int64
+}
+
+// Queue is a bounded MPMC FIFO with close-and-drain semantics, usable from
+// any proc of the owning context.
+type Queue[T any] interface {
+	// Push appends v, blocking while full; it reports false if the queue
+	// was closed first.
+	Push(p Proc, v T) bool
+	// PushAt appends v like Push but stamps it as available no earlier
+	// than the virtual instant at (e.g. an asynchronous IO completion from
+	// Resource.Schedule). Under the Real backend it behaves like Push; the
+	// producing Resource already paced the caller.
+	PushAt(p Proc, v T, at int64) bool
+	// Pop removes the oldest item, blocking while empty; it reports false
+	// once the queue is closed and drained.
+	Pop(p Proc) (T, bool)
+	// TryPop removes the oldest item without blocking.
+	TryPop(p Proc) (T, bool)
+	// Close rejects further pushes and wakes all blocked procs.
+	Close()
+	// Len returns the current queue length.
+	Len() int
+}
+
+// NewQueue returns a queue bound to ctx's backend with the given capacity.
+func NewQueue[T any](ctx Context, capacity int) Queue[T] {
+	switch c := ctx.(type) {
+	case *Real:
+		return newRealQueue[T](capacity)
+	case *Sim:
+		return newSimQueue[T](c, capacity)
+	default:
+		panic("exec: unknown Context implementation")
+	}
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"blaze/internal/queue"
+)
+
+// Real is the wall-clock backend: procs are goroutines, queues are mutex
+// MPMC rings, and resources pace callers with short sleeps so that modeled
+// device bandwidth holds in wall time.
+type Real struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewReal returns a real-time execution context.
+func NewReal() *Real {
+	return &Real{start: time.Now()}
+}
+
+// Run executes fn in the calling goroutine and waits for all procs spawned
+// with Go to finish.
+func (r *Real) Run(name string, fn func(Proc)) {
+	fn(&realProc{ctx: r, name: name})
+	r.wg.Wait()
+}
+
+// Go starts fn on a new goroutine.
+func (r *Real) Go(name string, fn func(Proc)) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn(&realProc{ctx: r, name: name})
+	}()
+}
+
+// IsSim reports false.
+func (r *Real) IsSim() bool { return false }
+
+// NewWaitGroup returns a wait group backed by sync.WaitGroup.
+func (r *Real) NewWaitGroup() WaitGroup { return &realWG{} }
+
+// NewBarrier returns a cyclic barrier for n procs.
+func (r *Real) NewBarrier(n int) Barrier {
+	b := &realBarrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// NewResource returns a pacing rate limiter.
+func (r *Real) NewResource(name string) Resource {
+	return &realResource{ctx: r}
+}
+
+type realProc struct {
+	ctx  *Real
+	name string
+}
+
+func (p *realProc) Advance(ns int64) {}
+func (p *realProc) Sync()            {}
+func (p *realProc) Name() string     { return p.name }
+func (p *realProc) Now() int64       { return int64(time.Since(p.ctx.start)) }
+
+type realWG struct{ wg sync.WaitGroup }
+
+func (w *realWG) Add(delta int) { w.wg.Add(delta) }
+func (w *realWG) Done(p Proc)   { w.wg.Done() }
+func (w *realWG) Wait(p Proc)   { w.wg.Wait() }
+
+type realBarrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func (b *realBarrier) Wait(p Proc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// realResource paces callers: each Acquire extends a virtual horizon by the
+// busy time, and the caller sleeps whenever the horizon runs ahead of wall
+// time by more than maxAhead. Short requests therefore batch into
+// occasional coarse sleeps instead of thousands of sub-microsecond ones.
+type realResource struct {
+	ctx  *Real
+	mu   sync.Mutex
+	busy int64 // horizon, ns on ctx clock
+}
+
+// maxAhead bounds how far the modeled device may run ahead of wall time
+// before the caller is put to sleep.
+const maxAhead = int64(2 * time.Millisecond)
+
+func (r *realResource) Acquire(p Proc, busy int64) int64 {
+	now := p.Now()
+	r.mu.Lock()
+	if r.busy < now {
+		r.busy = now
+	}
+	r.busy += busy
+	done := r.busy
+	r.mu.Unlock()
+	if ahead := done - now; ahead > maxAhead {
+		time.Sleep(time.Duration(ahead))
+	}
+	return done
+}
+
+// Schedule behaves like Acquire under the Real backend: pacing is the only
+// mechanism available in wall time, so asynchronous submissions are paced
+// at the point of submission.
+func (r *realResource) Schedule(p Proc, busy int64) int64 {
+	return r.Acquire(p, busy)
+}
+
+func (r *realResource) BusyUntil() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+type realQueue[T any] struct{ r *queue.Ring[T] }
+
+func newRealQueue[T any](capacity int) Queue[T] {
+	return &realQueue[T]{r: queue.NewRing[T](capacity)}
+}
+
+func (q *realQueue[T]) Push(p Proc, v T) bool             { return q.r.Push(v) }
+func (q *realQueue[T]) PushAt(p Proc, v T, at int64) bool { return q.r.Push(v) }
+func (q *realQueue[T]) Pop(p Proc) (T, bool)              { return q.r.Pop() }
+func (q *realQueue[T]) TryPop(p Proc) (T, bool)           { return q.r.TryPop() }
+func (q *realQueue[T]) Close()                            { q.r.Close() }
+func (q *realQueue[T]) Len() int                          { return q.r.Len() }

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealRunAndGo(t *testing.T) {
+	r := NewReal()
+	var count atomic.Int32
+	r.Run("main", func(p Proc) {
+		wg := r.NewWaitGroup()
+		wg.Add(8)
+		for i := 0; i < 8; i++ {
+			r.Go("w", func(c Proc) {
+				count.Add(1)
+				wg.Done(c)
+			})
+		}
+		wg.Wait(p)
+	})
+	if count.Load() != 8 {
+		t.Errorf("ran %d procs, want 8", count.Load())
+	}
+}
+
+func TestRealQueueRoundTrip(t *testing.T) {
+	r := NewReal()
+	sum := 0
+	r.Run("main", func(p Proc) {
+		q := NewQueue[int](r, 4)
+		wg := r.NewWaitGroup()
+		wg.Add(1)
+		r.Go("producer", func(c Proc) {
+			for i := 1; i <= 100; i++ {
+				q.Push(c, i)
+			}
+			q.Close()
+			wg.Done(c)
+		})
+		for {
+			v, ok := q.Pop(p)
+			if !ok {
+				break
+			}
+			sum += v
+		}
+		wg.Wait(p)
+	})
+	if sum != 5050 {
+		t.Errorf("sum = %d, want 5050", sum)
+	}
+}
+
+func TestRealBarrier(t *testing.T) {
+	r := NewReal()
+	var phase atomic.Int32
+	var bad atomic.Int32
+	r.Run("main", func(p Proc) {
+		b := r.NewBarrier(4)
+		wg := r.NewWaitGroup()
+		wg.Add(4)
+		for i := 0; i < 4; i++ {
+			r.Go("w", func(c Proc) {
+				phase.Add(1)
+				b.Wait(c)
+				if phase.Load() != 4 {
+					bad.Add(1)
+				}
+				wg.Done(c)
+			})
+		}
+		wg.Wait(p)
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d procs crossed the barrier before all arrived", bad.Load())
+	}
+}
+
+func TestRealResourcePaces(t *testing.T) {
+	r := NewReal()
+	var elapsed time.Duration
+	r.Run("main", func(p Proc) {
+		res := r.NewResource("dev")
+		start := time.Now()
+		// 50 requests of 1ms each = 50ms of modeled device time.
+		for i := 0; i < 50; i++ {
+			res.Acquire(p, int64(time.Millisecond))
+		}
+		elapsed = time.Since(start)
+	})
+	if elapsed < 40*time.Millisecond {
+		t.Errorf("50ms of modeled device time finished in %v; pacing broken", elapsed)
+	}
+}
+
+func TestRealAdvanceIsNoop(t *testing.T) {
+	r := NewReal()
+	r.Run("main", func(p Proc) {
+		before := p.Now()
+		p.Advance(int64(time.Hour))
+		if p.Now()-before > int64(time.Second) {
+			t.Error("Advance moved the real clock")
+		}
+	})
+}

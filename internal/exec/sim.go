@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sim is the virtual-time backend: a sequential, deterministic
+// discrete-event execution. Procs are real goroutines, but exactly one runs
+// at a time; the scheduler always resumes the runnable proc with the
+// smallest (clock, sequence) pair, so every interaction with shared state
+// happens in global timestamp order and the whole execution is
+// deterministic.
+//
+// A proc advances its own clock freely with Advance (no scheduling cost);
+// it re-enters the scheduler only at Sync points and at blocking primitive
+// operations. This keeps simulation overhead to a few context switches per
+// 4 kB page rather than per edge.
+type Sim struct {
+	mu      sync.Mutex
+	ready   readyHeap
+	seq     int64
+	nlive   int
+	cur     *simProc            // the proc currently holding the execution token
+	blocked map[*simProc]string // proc -> what it is blocked on, for deadlock reports
+	yield   chan struct{}
+	// failure holds the first panic raised inside any proc; Run re-panics
+	// with it on the caller's goroutine so tests and callers can recover.
+	failure any
+	// End is the largest proc clock observed at completion, i.e. the
+	// virtual makespan of the execution. Valid after Run returns.
+	End int64
+}
+
+// NewSim returns a fresh virtual-time context.
+func NewSim() *Sim {
+	return &Sim{
+		yield:   make(chan struct{}),
+		blocked: map[*simProc]string{},
+	}
+}
+
+// IsSim reports true.
+func (s *Sim) IsSim() bool { return true }
+
+// Run executes fn as the root proc at virtual time zero and drives the
+// scheduler until every proc has finished. It panics with a diagnostic if
+// all live procs block on each other (a simulated deadlock).
+func (s *Sim) Run(name string, fn func(Proc)) {
+	root := s.newProc(name, fn)
+	s.mu.Lock()
+	s.pushReady(root)
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		if s.nlive == 0 {
+			s.mu.Unlock()
+			return
+		}
+		if s.ready.Len() == 0 {
+			diag := s.deadlockReport()
+			s.mu.Unlock()
+			panic(diag)
+		}
+		p := heap.Pop(&s.ready).(*simProc)
+		s.cur = p
+		s.mu.Unlock()
+		p.resume <- struct{}{}
+		<-s.yield
+		s.mu.Lock()
+		fail := s.failure
+		s.mu.Unlock()
+		if fail != nil {
+			panic(fail)
+		}
+	}
+}
+
+// Go starts fn as a new proc whose clock begins at the parent's clock (the
+// proc currently holding the execution token — exactly one proc runs at a
+// time, so s.cur is the caller).
+func (s *Sim) Go(name string, fn func(Proc)) {
+	child := s.newProc(name, fn)
+	s.mu.Lock()
+	if s.cur != nil {
+		child.now = s.cur.now
+	}
+	s.pushReady(child)
+	s.mu.Unlock()
+}
+
+func (s *Sim) newProc(name string, fn func(Proc)) *simProc {
+	p := &simProc{sim: s, name: name, resume: make(chan struct{})}
+	s.mu.Lock()
+	s.nlive++
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				if s.failure == nil {
+					s.failure = r
+				}
+				s.mu.Unlock()
+			}
+			s.mu.Lock()
+			s.nlive--
+			if p.now > s.End {
+				s.End = p.now
+			}
+			s.mu.Unlock()
+			s.yield <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	return p
+}
+
+// pushReady requires s.mu held.
+func (s *Sim) pushReady(p *simProc) {
+	s.seq++
+	p.seq = s.seq
+	heap.Push(&s.ready, p)
+}
+
+// wake moves a blocked proc to the ready set, resuming it no earlier than
+// at. Requires s.mu held.
+func (s *Sim) wake(p *simProc, at int64) {
+	if p.now < at {
+		p.now = at
+	}
+	delete(s.blocked, p)
+	s.pushReady(p)
+}
+
+func (s *Sim) deadlockReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec: simulated deadlock: %d live procs, none runnable\n", s.nlive)
+	var lines []string
+	for p, what := range s.blocked {
+		lines = append(lines, fmt.Sprintf("  %s (t=%dns) blocked on %s", p.name, p.now, what))
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// simProc is one simulated thread.
+type simProc struct {
+	sim    *Sim
+	name   string
+	now    int64
+	seq    int64
+	resume chan struct{}
+}
+
+func (p *simProc) Advance(ns int64) { p.now += ns }
+func (p *simProc) Now() int64       { return p.now }
+func (p *simProc) Name() string     { return p.name }
+
+// Sync parks the proc until it holds the minimal clock among runnable
+// procs, so that the caller's next shared-state access happens in global
+// timestamp order. If the proc is already minimal it returns immediately.
+func (p *simProc) Sync() {
+	s := p.sim
+	s.mu.Lock()
+	if s.ready.Len() == 0 || s.ready[0].now >= p.now {
+		s.mu.Unlock()
+		return
+	}
+	s.pushReady(p)
+	s.mu.Unlock()
+	s.yield <- struct{}{}
+	<-p.resume
+}
+
+// block parks the proc off the ready heap; some other proc must wake it via
+// Sim.wake. The caller must have registered p in a waiter list (and in
+// s.blocked) before calling block. Returns once resumed.
+func (p *simProc) block() {
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// asSim asserts that a Proc belongs to this Sim.
+func (s *Sim) asSim(p Proc) *simProc {
+	sp, ok := p.(*simProc)
+	if !ok || sp.sim != s {
+		panic("exec: proc used with a foreign Sim context")
+	}
+	return sp
+}
+
+// readyHeap orders procs by (clock, sequence); the sequence tiebreak makes
+// scheduling — and therefore the whole simulation — deterministic.
+type readyHeap []*simProc
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*simProc)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}
+
+// NewWaitGroup returns a virtual-time wait group.
+func (s *Sim) NewWaitGroup() WaitGroup { return &simWG{s: s} }
+
+type simWG struct {
+	s       *Sim
+	count   int
+	waiters []*simProc
+}
+
+func (w *simWG) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("exec: negative WaitGroup counter")
+	}
+}
+
+func (w *simWG) Done(p Proc) {
+	sp := w.s.asSim(p)
+	sp.Sync()
+	w.count--
+	if w.count < 0 {
+		panic("exec: negative WaitGroup counter")
+	}
+	if w.count == 0 && len(w.waiters) > 0 {
+		w.s.mu.Lock()
+		for _, wp := range w.waiters {
+			w.s.wake(wp, sp.now)
+		}
+		w.s.mu.Unlock()
+		w.waiters = w.waiters[:0]
+	}
+}
+
+func (w *simWG) Wait(p Proc) {
+	sp := w.s.asSim(p)
+	sp.Sync()
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, sp)
+	w.s.mu.Lock()
+	w.s.blocked[sp] = "waitgroup"
+	w.s.mu.Unlock()
+	sp.block()
+}
+
+// NewBarrier returns a virtual-time cyclic barrier: all n procs resume at
+// the maximum arrival clock, modeling a parallel phase boundary.
+func (s *Sim) NewBarrier(n int) Barrier { return &simBarrier{s: s, n: n} }
+
+type simBarrier struct {
+	s       *Sim
+	n       int
+	arrived int
+	maxT    int64
+	waiters []*simProc
+}
+
+func (b *simBarrier) Wait(p Proc) {
+	sp := b.s.asSim(p)
+	sp.Sync()
+	if sp.now > b.maxT {
+		b.maxT = sp.now
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		release := b.maxT
+		b.arrived = 0
+		b.maxT = 0
+		b.s.mu.Lock()
+		for _, wp := range b.waiters {
+			b.s.wake(wp, release)
+		}
+		b.s.mu.Unlock()
+		b.waiters = b.waiters[:0]
+		if sp.now < release {
+			sp.now = release
+		}
+		return
+	}
+	b.waiters = append(b.waiters, sp)
+	b.s.mu.Lock()
+	b.s.blocked[sp] = "barrier"
+	b.s.mu.Unlock()
+	sp.block()
+}
+
+// NewResource returns a serially-shared timed resource.
+func (s *Sim) NewResource(name string) Resource {
+	return &simResource{s: s, name: name}
+}
+
+type simResource struct {
+	s    *Sim
+	name string
+	busy int64
+}
+
+func (r *simResource) Acquire(p Proc, busy int64) int64 {
+	sp := r.s.asSim(p)
+	sp.Sync()
+	start := r.busy
+	if sp.now > start {
+		start = sp.now
+	}
+	r.busy = start + busy
+	sp.now = r.busy
+	return r.busy
+}
+
+func (r *simResource) Schedule(p Proc, busy int64) int64 {
+	sp := r.s.asSim(p)
+	sp.Sync()
+	start := r.busy
+	if sp.now > start {
+		start = sp.now
+	}
+	r.busy = start + busy
+	return r.busy
+}
+
+func (r *simResource) BusyUntil() int64 { return r.busy }

@@ -1,0 +1,147 @@
+package exec
+
+// simQueue is the virtual-time MPMC queue. Items carry their push
+// timestamp: a popper can never observe an item earlier than the virtual
+// instant it was produced, which is what makes producer/consumer stalls
+// (free IO buffers running out, full bins backing up) visible in virtual
+// time exactly as they would be on real hardware.
+type simQueue[T any] struct {
+	s        *Sim
+	items    []timedItem[T]
+	head     int
+	capacity int
+	closed   bool
+	poppers  []*simProc
+	pushers  []*simProc
+}
+
+type timedItem[T any] struct {
+	v T
+	t int64
+}
+
+func newSimQueue[T any](s *Sim, capacity int) *simQueue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &simQueue[T]{s: s, capacity: capacity}
+}
+
+func (q *simQueue[T]) size() int { return len(q.items) - q.head }
+
+func (q *simQueue[T]) Push(p Proc, v T) bool {
+	return q.pushStamped(p, v, 0)
+}
+
+func (q *simQueue[T]) PushAt(p Proc, v T, at int64) bool {
+	return q.pushStamped(p, v, at)
+}
+
+func (q *simQueue[T]) pushStamped(p Proc, v T, at int64) bool {
+	sp := q.s.asSim(p)
+	sp.Sync()
+	for q.size() >= q.capacity && !q.closed {
+		q.pushers = append(q.pushers, sp)
+		q.s.mu.Lock()
+		q.s.blocked[sp] = "queue push (full)"
+		q.s.mu.Unlock()
+		sp.block()
+	}
+	if q.closed {
+		return false
+	}
+	t := sp.now
+	if at > t {
+		t = at
+	}
+	q.items = append(q.items, timedItem[T]{v, t})
+	q.wakeOnePopper(t)
+	return true
+}
+
+func (q *simQueue[T]) Pop(p Proc) (T, bool) {
+	sp := q.s.asSim(p)
+	sp.Sync()
+	for q.size() == 0 && !q.closed {
+		q.poppers = append(q.poppers, sp)
+		q.s.mu.Lock()
+		q.s.blocked[sp] = "queue pop (empty)"
+		q.s.mu.Unlock()
+		sp.block()
+	}
+	var zero T
+	if q.size() == 0 {
+		return zero, false
+	}
+	return q.take(sp), true
+}
+
+func (q *simQueue[T]) TryPop(p Proc) (T, bool) {
+	sp := q.s.asSim(p)
+	sp.Sync()
+	var zero T
+	if q.size() == 0 {
+		return zero, false
+	}
+	return q.take(sp), true
+}
+
+// take removes the head item, bumping the popper's clock to the item's
+// availability time. Callers guarantee the queue is non-empty.
+func (q *simQueue[T]) take(sp *simProc) T {
+	it := q.items[q.head]
+	var zero T
+	q.items[q.head].v = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	if it.t > sp.now {
+		sp.now = it.t
+	}
+	q.wakeOnePusher(sp.now)
+	return it.v
+}
+
+func (q *simQueue[T]) wakeOnePopper(at int64) {
+	if len(q.poppers) == 0 {
+		return
+	}
+	wp := q.poppers[0]
+	q.poppers = q.poppers[1:]
+	q.s.mu.Lock()
+	q.s.wake(wp, at)
+	q.s.mu.Unlock()
+}
+
+func (q *simQueue[T]) wakeOnePusher(at int64) {
+	if len(q.pushers) == 0 {
+		return
+	}
+	wp := q.pushers[0]
+	q.pushers = q.pushers[1:]
+	q.s.mu.Lock()
+	q.s.wake(wp, at)
+	q.s.mu.Unlock()
+}
+
+func (q *simQueue[T]) Close() {
+	q.closed = true
+	q.s.mu.Lock()
+	for _, wp := range q.poppers {
+		q.s.wake(wp, wp.now)
+	}
+	for _, wp := range q.pushers {
+		q.s.wake(wp, wp.now)
+	}
+	q.s.mu.Unlock()
+	q.poppers = nil
+	q.pushers = nil
+}
+
+func (q *simQueue[T]) Len() int { return q.size() }

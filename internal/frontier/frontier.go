@@ -1,0 +1,193 @@
+// Package frontier implements Blaze's two frontier types (§IV-C):
+// VertexSubset for vertex frontiers and PageSubset for the internal page
+// frontier that drives IO. Both abstract a sparse (sorted ID list) and a
+// dense (bitmap) representation and switch between them by density, as in
+// Ligra. PageSubset is never exposed to users.
+package frontier
+
+import (
+	"math/bits"
+	"sort"
+
+	"blaze/internal/graph"
+)
+
+// denseFraction is the Ligra-style switching threshold: a subset holding
+// more than 1/20 of all vertices is kept dense.
+const denseFraction = 20
+
+// VertexSubset is a set of vertex IDs out of n vertices. It is built by a
+// single writer (or by per-proc subsets later merged) and must be Sealed
+// before concurrent readers use Has/ForEach. Duplicate Adds are deduped: a
+// membership bitmap always backs the set, while the sparse ID list exists
+// only below the density threshold to drive cheap iteration.
+type VertexSubset struct {
+	n      uint32
+	dense  bool
+	bits   []uint64
+	sparse []uint32
+	count  int64
+	sorted bool
+}
+
+// NewVertexSubset returns an empty sparse subset over n vertices.
+func NewVertexSubset(n uint32) *VertexSubset {
+	return &VertexSubset{n: n, sorted: true}
+}
+
+// Single returns a subset holding only v.
+func Single(n, v uint32) *VertexSubset {
+	f := NewVertexSubset(n)
+	f.Add(v)
+	return f
+}
+
+// All returns a dense subset with every vertex active.
+func All(n uint32) *VertexSubset {
+	f := &VertexSubset{n: n, dense: true, bits: make([]uint64, (int(n)+63)/64), count: int64(n)}
+	for i := range f.bits {
+		f.bits[i] = ^uint64(0)
+	}
+	if r := int(n) % 64; r != 0 && len(f.bits) > 0 {
+		f.bits[len(f.bits)-1] = (1 << r) - 1
+	}
+	return f
+}
+
+// N returns the universe size.
+func (f *VertexSubset) N() uint32 { return f.n }
+
+// Add inserts v, ignoring duplicates.
+func (f *VertexSubset) Add(v uint32) {
+	if f.bits == nil {
+		f.bits = make([]uint64, (int(f.n)+63)/64)
+	}
+	w, b := v/64, uint64(1)<<(v%64)
+	if f.bits[w]&b != 0 {
+		return
+	}
+	f.bits[w] |= b
+	f.count++
+	if f.dense {
+		return
+	}
+	if f.sorted && len(f.sparse) > 0 && v < f.sparse[len(f.sparse)-1] {
+		f.sorted = false
+	}
+	f.sparse = append(f.sparse, v)
+	if f.count > int64(f.n)/denseFraction {
+		f.densify()
+	}
+}
+
+// densify drops the sparse list; the bitmap is already authoritative.
+func (f *VertexSubset) densify() {
+	if f.dense {
+		return
+	}
+	if f.bits == nil {
+		f.bits = make([]uint64, (int(f.n)+63)/64)
+		for _, v := range f.sparse {
+			f.bits[v/64] |= 1 << (v % 64)
+		}
+	}
+	f.sparse = nil
+	f.dense = true
+}
+
+// Seal prepares the subset for reading: sparse subsets are sorted so Has
+// can binary-search and ForEach runs in ascending order.
+func (f *VertexSubset) Seal() {
+	if !f.dense && !f.sorted {
+		sort.Slice(f.sparse, func(i, j int) bool { return f.sparse[i] < f.sparse[j] })
+		f.sorted = true
+	}
+}
+
+// Has reports membership.
+func (f *VertexSubset) Has(v uint32) bool {
+	if f.bits == nil {
+		return false
+	}
+	return f.bits[v/64]&(1<<(v%64)) != 0
+}
+
+// Count returns the number of active vertices.
+func (f *VertexSubset) Count() int64 { return f.count }
+
+// Empty reports whether no vertex is active.
+func (f *VertexSubset) Empty() bool { return f.count == 0 }
+
+// Dense reports the current representation.
+func (f *VertexSubset) Dense() bool { return f.dense }
+
+// ForEach visits active vertices in ascending order. The subset must be
+// Sealed (or dense).
+func (f *VertexSubset) ForEach(fn func(v uint32)) {
+	if f.dense {
+		for w, word := range f.bits {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				fn(uint32(w*64 + b))
+				word &^= 1 << b
+			}
+		}
+		return
+	}
+	for _, v := range f.sparse {
+		fn(v)
+	}
+}
+
+// Merge adds all members of other into f (used to combine per-proc output
+// frontiers); duplicates across subsets are deduped.
+func (f *VertexSubset) Merge(other *VertexSubset) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	other.ForEach(func(v uint32) { f.Add(v) })
+}
+
+// Bytes returns the memory footprint of the current representation.
+func (f *VertexSubset) Bytes() int64 {
+	return int64(len(f.bits))*8 + int64(len(f.sparse))*4
+}
+
+// PageSubset is the per-device page frontier: the device-local IDs of every
+// page holding at least one active vertex's edges, sorted ascending per
+// device (§IV-C step 1).
+type PageSubset struct {
+	// PerDev[d] lists device-local page IDs for device d.
+	PerDev [][]int64
+	total  int64
+}
+
+// Pages returns the total page count across devices.
+func (ps *PageSubset) Pages() int64 { return ps.total }
+
+// PagesOf converts a sealed vertex frontier into a page frontier for a
+// graph striped over numDev devices. Active vertices are visited in
+// ascending ID order, so page IDs come out sorted and deduped per device
+// without extra sorting.
+func PagesOf(f *VertexSubset, c *graph.CSR, numDev int) *PageSubset {
+	ps := &PageSubset{PerDev: make([][]int64, numDev)}
+	lastLogical := int64(-1)
+	f.ForEach(func(v uint32) {
+		first, last, ok := c.PageRange(v)
+		if !ok {
+			return
+		}
+		if first <= lastLogical {
+			first = lastLogical + 1
+		}
+		for p := first; p <= last; p++ {
+			d := int(p % int64(numDev))
+			ps.PerDev[d] = append(ps.PerDev[d], p/int64(numDev))
+			ps.total++
+		}
+		if last > lastLogical {
+			lastLogical = last
+		}
+	})
+	return ps
+}

@@ -1,0 +1,268 @@
+package frontier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"blaze/gen"
+	"blaze/internal/graph"
+)
+
+func TestSingleAndHas(t *testing.T) {
+	f := Single(100, 42)
+	f.Seal()
+	if !f.Has(42) || f.Has(41) || f.Count() != 1 || f.Empty() {
+		t.Error("Single subset misbehaves")
+	}
+}
+
+func TestAllIsDenseAndComplete(t *testing.T) {
+	for _, n := range []uint32{1, 63, 64, 65, 100, 1000} {
+		f := All(n)
+		if !f.Dense() || f.Count() != int64(n) {
+			t.Fatalf("All(%d): dense=%v count=%d", n, f.Dense(), f.Count())
+		}
+		seen := int64(0)
+		f.ForEach(func(v uint32) {
+			if v >= n {
+				t.Fatalf("All(%d) contains out-of-range %d", n, v)
+			}
+			seen++
+		})
+		if seen != int64(n) {
+			t.Fatalf("All(%d) visited %d", n, seen)
+		}
+	}
+}
+
+func TestSparseStaysSortedAfterSeal(t *testing.T) {
+	f := NewVertexSubset(10000)
+	for _, v := range []uint32{5, 3, 99, 1, 50} {
+		f.Add(v)
+	}
+	f.Seal()
+	var prev int64 = -1
+	f.ForEach(func(v uint32) {
+		if int64(v) <= prev {
+			t.Fatalf("ForEach not ascending: %d after %d", v, prev)
+		}
+		prev = int64(v)
+	})
+	for _, v := range []uint32{1, 3, 5, 50, 99} {
+		if !f.Has(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	if f.Has(2) || f.Has(100) {
+		t.Error("false positive membership")
+	}
+}
+
+func TestDensifyThreshold(t *testing.T) {
+	f := NewVertexSubset(1000)
+	// 1/20 of 1000 = 50; adding 51 vertices must flip to dense.
+	for v := uint32(0); v <= 50; v++ {
+		f.Add(v)
+	}
+	if !f.Dense() {
+		t.Error("subset did not densify past the 1/20 threshold")
+	}
+	if f.Count() != 51 {
+		t.Errorf("count after densify = %d, want 51", f.Count())
+	}
+	// Dense Add dedupes.
+	f.Add(10)
+	if f.Count() != 51 {
+		t.Errorf("dense duplicate add changed count to %d", f.Count())
+	}
+}
+
+func TestMergeSparseSparse(t *testing.T) {
+	a := NewVertexSubset(10000)
+	b := NewVertexSubset(10000)
+	a.Add(1)
+	a.Add(7)
+	b.Add(3)
+	b.Add(9)
+	a.Merge(b)
+	a.Seal()
+	for _, v := range []uint32{1, 3, 7, 9} {
+		if !a.Has(v) {
+			t.Errorf("merged subset missing %d", v)
+		}
+	}
+	if a.Count() != 4 {
+		t.Errorf("merged count = %d, want 4", a.Count())
+	}
+}
+
+func TestMergeMixedDedupes(t *testing.T) {
+	a := All(100) // dense
+	b := NewVertexSubset(100)
+	b.Add(5)
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Errorf("merge introduced duplicates: count=%d", a.Count())
+	}
+}
+
+// TestSubsetMatchesMapModel property-checks the subset against a map-based
+// model through interleaved Add/Merge operations.
+func TestSubsetMatchesMapModel(t *testing.T) {
+	f := func(adds []uint16, n uint16) bool {
+		size := uint32(n%2000) + 100
+		fs := NewVertexSubset(size)
+		model := map[uint32]bool{}
+		for _, a := range adds {
+			v := uint32(a) % size
+			if model[v] {
+				continue // sparse contract: no duplicate adds
+			}
+			model[v] = true
+			fs.Add(v)
+		}
+		fs.Seal()
+		if fs.Count() != int64(len(model)) {
+			return false
+		}
+		for v := range model {
+			if !fs.Has(v) {
+				return false
+			}
+		}
+		visited := 0
+		fs.ForEach(func(v uint32) {
+			if !model[v] {
+				visited = -1 << 30
+			}
+			visited++
+		})
+		return visited == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	f := NewVertexSubset(1 << 20)
+	f.Add(1)
+	f.Add(2)
+	want := int64((1<<20)/8 + 8) // membership bitmap + two sparse IDs
+	if f.Bytes() != want {
+		t.Errorf("sparse Bytes = %d, want %d", f.Bytes(), want)
+	}
+	d := All(1 << 20)
+	if d.Bytes() != (1<<20)/8 {
+		t.Errorf("dense Bytes = %d, want %d", d.Bytes(), (1<<20)/8)
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	f := NewVertexSubset(1000)
+	for i := 0; i < 10; i++ {
+		f.Add(7)
+	}
+	if f.Count() != 1 {
+		t.Errorf("count after duplicate adds = %d, want 1", f.Count())
+	}
+	f.Seal()
+	visits := 0
+	f.ForEach(func(v uint32) { visits++ })
+	if visits != 1 {
+		t.Errorf("ForEach visited %d, want 1", visits)
+	}
+}
+
+// pagesOfModel recomputes the page frontier naively for comparison.
+func pagesOfModel(f *VertexSubset, c *graph.CSR, numDev int) [][]int64 {
+	seen := map[int64]bool{}
+	f.ForEach(func(v uint32) {
+		first, last, ok := c.PageRange(v)
+		if !ok {
+			return
+		}
+		for p := first; p <= last; p++ {
+			seen[p] = true
+		}
+	})
+	out := make([][]int64, numDev)
+	maxPage := c.NumPages()
+	for p := int64(0); p < maxPage; p++ {
+		if seen[p] {
+			d := int(p % int64(numDev))
+			out[d] = append(out[d], p/int64(numDev))
+		}
+	}
+	return out
+}
+
+func TestPagesOfMatchesModel(t *testing.T) {
+	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 5, V: 2048, E: 30000}
+	src, dst := pr.Generate()
+	c := graph.Build(pr.V, src, dst)
+	for _, numDev := range []int{1, 3, 8} {
+		for _, mode := range []string{"sparse", "dense", "all"} {
+			var f *VertexSubset
+			switch mode {
+			case "sparse":
+				f = NewVertexSubset(pr.V)
+				r := gen.NewRNG(99)
+				seen := map[uint32]bool{}
+				for i := 0; i < 40; i++ {
+					v := uint32(r.Intn(int(pr.V)))
+					if !seen[v] {
+						seen[v] = true
+						f.Add(v)
+					}
+				}
+			case "dense":
+				f = NewVertexSubset(pr.V)
+				r := gen.NewRNG(7)
+				seen := map[uint32]bool{}
+				for i := 0; i < int(pr.V)/4; i++ {
+					v := uint32(r.Intn(int(pr.V)))
+					if !seen[v] {
+						seen[v] = true
+						f.Add(v)
+					}
+				}
+			case "all":
+				f = All(pr.V)
+			}
+			f.Seal()
+			got := PagesOf(f, c, numDev)
+			want := pagesOfModel(f, c, numDev)
+			for d := 0; d < numDev; d++ {
+				if len(got.PerDev[d]) != len(want[d]) {
+					t.Fatalf("numDev=%d mode=%s dev %d: %d pages, want %d",
+						numDev, mode, d, len(got.PerDev[d]), len(want[d]))
+				}
+				for i := range want[d] {
+					if got.PerDev[d][i] != want[d][i] {
+						t.Fatalf("numDev=%d mode=%s dev %d page %d: got %d want %d",
+							numDev, mode, d, i, got.PerDev[d][i], want[d][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPagesOfFullFrontierCoversAllPages(t *testing.T) {
+	pr := gen.Preset{Kind: gen.KindUniform, Seed: 2, V: 1024, E: 20000}
+	src, dst := pr.Generate()
+	c := graph.Build(pr.V, src, dst)
+	ps := PagesOf(All(pr.V), c, 2)
+	if ps.Pages() != c.NumPages() {
+		t.Errorf("full frontier touched %d pages, want all %d", ps.Pages(), c.NumPages())
+	}
+}
+
+func TestPagesOfEmptyFrontier(t *testing.T) {
+	c := graph.Build(16, []uint32{0}, []uint32{1})
+	ps := PagesOf(NewVertexSubset(16), c, 4)
+	if ps.Pages() != 0 {
+		t.Errorf("empty frontier produced %d pages", ps.Pages())
+	}
+}

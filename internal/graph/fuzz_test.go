@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadIndex hammers the on-disk index parser with corrupted inputs: it
+// must reject or load them cleanly, never panic, and never produce an
+// inconsistent CSR.
+func FuzzReadIndex(f *testing.F) {
+	// Seed with a valid index file.
+	dir := f.TempDir()
+	c := Build(64, []uint32{0, 1, 2, 63}, []uint32{1, 2, 3, 0})
+	valid := filepath.Join(dir, "seed.gr.index")
+	if err := WriteIndex(c, valid); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2]) // truncated
+	f.Add([]byte{})
+	f.Add([]byte("not an index at all"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.gr.index")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Skip()
+		}
+		loaded, err := ReadIndex(path)
+		if err != nil {
+			return // rejection is fine
+		}
+		// Accepted: the CSR must be self-consistent.
+		if int64(len(loaded.Degrees)) != int64(loaded.V) {
+			t.Fatalf("V=%d but %d degrees", loaded.V, len(loaded.Degrees))
+		}
+		var sum int64
+		for _, d := range loaded.Degrees {
+			sum += int64(d)
+		}
+		if sum != loaded.E {
+			t.Fatalf("degree sum %d != E %d", sum, loaded.E)
+		}
+		if loaded.V > 0 {
+			// Offsets must be monotone and end at E.
+			prev := int64(-1)
+			for v := uint32(0); v < loaded.V; v += 7 {
+				off := loaded.Offset(v)
+				if off < prev || off > loaded.E {
+					t.Fatalf("offset(%d)=%d out of order", v, off)
+				}
+				prev = off
+			}
+		}
+	})
+}

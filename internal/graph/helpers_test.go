@@ -1,0 +1,7 @@
+package graph
+
+import "os"
+
+func openRW(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0)
+}

@@ -1,0 +1,5 @@
+package inmem_test
+
+import "blaze/internal/metrics"
+
+func newStats() *metrics.IOStats { return metrics.NewIOStats(1) }

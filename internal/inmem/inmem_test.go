@@ -1,0 +1,89 @@
+package inmem_test
+
+import (
+	"math"
+	"testing"
+
+	"blaze/algo"
+	"blaze/gen"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/inmem"
+	"blaze/internal/ssd"
+)
+
+func setup(ctx exec.Context, seed uint64) (*inmem.System, *engine.Graph, *engine.Graph) {
+	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: seed, V: 2048, E: 30000, Locality: 0.1}
+	out, in := engine.BuildPreset(ctx, p, 1, ssd.OptaneSSD, nil, nil)
+	cfg := inmem.DefaultConfig()
+	cfg.Workers = 4
+	return inmem.New(ctx, cfg), out, in
+}
+
+func TestInMemAllQueries(t *testing.T) {
+	ctx := exec.NewSim()
+	sys, g, in := setup(ctx, 61)
+	var parent []int64
+	var rank, y, dep []float64
+	var ids []uint32
+	x := make([]float64, g.NumVertices())
+	for i := range x {
+		x[i] = float64(i % 5)
+	}
+	ctx.Run("main", func(p exec.Proc) {
+		parent = algo.BFS(sys, p, g, 0)
+		rank = algo.PageRank(sys, p, g, 0.01, 20)
+		ids = algo.WCC(sys, p, g, in)
+		y = algo.SpMV(sys, p, g, x)
+		dep = algo.BC(sys, p, g, in, 0)
+	})
+	if _, ok := algo.CheckParents(g.CSR, 0, parent, algo.RefBFSDepth(g.CSR, 0)); !ok {
+		t.Error("in-core BFS invalid")
+	}
+	refPR := algo.RefPageRankDelta(g.CSR, 0.01, 20)
+	for v := range rank {
+		if math.Abs(rank[v]-refPR[v]) > 1e-6*math.Max(refPR[v], 1e-9) {
+			t.Fatalf("in-core PR rank[%d] = %g, want %g", v, rank[v], refPR[v])
+		}
+	}
+	if !algo.SamePartition(ids, algo.RefWCC(g.CSR)) {
+		t.Error("in-core WCC mismatch")
+	}
+	refY := algo.RefSpMV(g.CSR, x)
+	for v := range y {
+		if math.Abs(y[v]-refY[v]) > 1e-9*math.Max(1, refY[v]) {
+			t.Fatalf("in-core SpMV y[%d] = %g, want %g", v, y[v], refY[v])
+		}
+	}
+	refBC := algo.RefBC(g.CSR, 0)
+	for v := range dep {
+		if math.Abs(dep[v]-refBC[v]) > 1e-6*math.Max(1, math.Abs(refBC[v])) {
+			t.Fatalf("in-core BC[%d] = %g, want %g", v, dep[v], refBC[v])
+		}
+	}
+}
+
+// TestInMemNoIO: the in-core engine must never touch the device array.
+func TestInMemNoIO(t *testing.T) {
+	ctx := exec.NewSim()
+	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: 62, V: 1024, E: 10000}
+	stats := newStats()
+	out, _ := engine.BuildPreset(ctx, p, 1, ssd.OptaneSSD, stats, nil)
+	sys := inmem.New(ctx, inmem.DefaultConfig())
+	ctx.Run("main", func(pp exec.Proc) {
+		algo.BFS(sys, pp, out, 0)
+	})
+	if stats.TotalBytes() != 0 {
+		t.Errorf("in-core engine read %d device bytes", stats.TotalBytes())
+	}
+}
+
+// TestInMemMemoryCost: holding the graph in core costs at least the full
+// adjacency — the §II trade the out-of-core model avoids.
+func TestInMemMemoryCost(t *testing.T) {
+	ctx := exec.NewSim()
+	_, g, _ := setup(ctx, 63)
+	if inmem.MemBytes(g) < g.CSR.AdjBytes() {
+		t.Error("in-core memory accounting below adjacency size")
+	}
+}

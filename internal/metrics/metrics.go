@@ -1,0 +1,224 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// total read bytes and average bandwidth (Figures 1, 8, 10), bandwidth
+// timelines (Figure 2), per-iteration per-device IO (Figure 3), and memory
+// footprint accounting (Figure 12). Timestamps come from exec.Proc clocks,
+// so the same collectors work under both wall time and virtual time.
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Timeline accumulates bytes into fixed-width time buckets, producing a
+// bandwidth-over-time series like Figure 2.
+type Timeline struct {
+	mu       sync.Mutex
+	bucketNs int64
+	buckets  []int64
+}
+
+// NewTimeline returns a timeline with the given bucket width in
+// nanoseconds.
+func NewTimeline(bucketNs int64) *Timeline {
+	if bucketNs <= 0 {
+		bucketNs = 1e7 // 10 ms
+	}
+	return &Timeline{bucketNs: bucketNs}
+}
+
+// Add records bytes at timestamp now (ns).
+func (t *Timeline) Add(now, bytes int64) {
+	idx := int(now / t.bucketNs)
+	if idx < 0 {
+		idx = 0
+	}
+	t.mu.Lock()
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[idx] += bytes
+	t.mu.Unlock()
+}
+
+// BucketNs returns the bucket width.
+func (t *Timeline) BucketNs() int64 { return t.bucketNs }
+
+// Series returns the per-bucket bandwidth in bytes/second.
+func (t *Timeline) Series() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]float64, len(t.buckets))
+	for i, b := range t.buckets {
+		out[i] = float64(b) / (float64(t.bucketNs) / 1e9)
+	}
+	return out
+}
+
+// IdleFraction returns the fraction of buckets in [0, lastNonEmpty] whose
+// bandwidth is below thresholdBytesPerSec — the paper's "idle IO periods".
+func (t *Timeline) IdleFraction(thresholdBytesPerSec float64) float64 {
+	s := t.Series()
+	last := -1
+	for i, v := range s {
+		if v > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return 1
+	}
+	idle := 0
+	for i := 0; i <= last; i++ {
+		if s[i] < thresholdBytesPerSec {
+			idle++
+		}
+	}
+	return float64(idle) / float64(last+1)
+}
+
+// IOStats aggregates per-device read counters for one execution, with an
+// epoch mechanism for per-iteration accounting (Figure 3).
+type IOStats struct {
+	mu         sync.Mutex
+	devBytes   []int64 // total bytes per device
+	epochBytes []int64 // bytes per device since last epoch reset
+	requests   int64
+	pagesRead  int64
+}
+
+// NewIOStats returns stats for n devices.
+func NewIOStats(n int) *IOStats {
+	return &IOStats{devBytes: make([]int64, n), epochBytes: make([]int64, n)}
+}
+
+// AddRead records one read request of bytes from device dev covering pages
+// pages.
+func (s *IOStats) AddRead(dev int, bytes int64, pages int) {
+	s.mu.Lock()
+	s.devBytes[dev] += bytes
+	s.epochBytes[dev] += bytes
+	s.requests++
+	s.pagesRead += int64(pages)
+	s.mu.Unlock()
+}
+
+// TotalBytes returns the sum over all devices.
+func (s *IOStats) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, b := range s.devBytes {
+		t += b
+	}
+	return t
+}
+
+// Requests returns the number of read requests issued.
+func (s *IOStats) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// PagesRead returns the number of 4 kB pages read.
+func (s *IOStats) PagesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pagesRead
+}
+
+// DeviceBytes returns a copy of the per-device byte totals.
+func (s *IOStats) DeviceBytes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.devBytes))
+	copy(out, s.devBytes)
+	return out
+}
+
+// EndEpoch returns the per-device bytes since the previous EndEpoch call
+// and resets the epoch counters. The engine calls it once per iteration to
+// produce Figure 3's per-iteration skew.
+func (s *IOStats) EndEpoch() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.epochBytes))
+	copy(out, s.epochBytes)
+	for i := range s.epochBytes {
+		s.epochBytes[i] = 0
+	}
+	return out
+}
+
+// Skew returns max-min of the slice — Figure 3's y-axis.
+func Skew(devBytes []int64) int64 {
+	if len(devBytes) == 0 {
+		return 0
+	}
+	min, max := devBytes[0], devBytes[0]
+	for _, b := range devBytes[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max - min
+}
+
+// MemAccount tracks named memory reservations so Figure 12's footprint can
+// be reported per workload. Entries are analytic sizes (bytes), not Go heap
+// measurements, mirroring the paper's accounting of index, page map, IO
+// buffers, bins, and algorithm arrays.
+type MemAccount struct {
+	mu    sync.Mutex
+	items map[string]int64
+}
+
+// NewMemAccount returns an empty account.
+func NewMemAccount() *MemAccount { return &MemAccount{items: map[string]int64{}} }
+
+// Set records (or replaces) the byte size of a named component.
+func (m *MemAccount) Set(name string, bytes int64) {
+	m.mu.Lock()
+	m.items[name] = bytes
+	m.mu.Unlock()
+}
+
+// Add increments the byte size of a named component.
+func (m *MemAccount) Add(name string, bytes int64) {
+	m.mu.Lock()
+	m.items[name] += bytes
+	m.mu.Unlock()
+}
+
+// Total returns the sum of all components.
+func (m *MemAccount) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, b := range m.items {
+		t += b
+	}
+	return t
+}
+
+// Items returns the component sizes sorted by name.
+func (m *MemAccount) Items() []MemItem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemItem, 0, len(m.items))
+	for k, v := range m.items {
+		out = append(out, MemItem{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MemItem is one named memory component.
+type MemItem struct {
+	Name  string
+	Bytes int64
+}

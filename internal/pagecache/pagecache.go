@@ -1,0 +1,122 @@
+// Package pagecache implements an LRU cache of 4 kB graph pages keyed by
+// (graph, logical page number).
+//
+// The FlashGraph baseline uses it as described in the paper (§V-B:
+// FlashGraph's LRU page cache makes it 12-20% faster than Blaze on the
+// high-locality sk2005 graph). The Blaze engine can also enable it via
+// engine.Config.PageCacheBytes — the paper lists "more advanced eviction
+// policies" than its random IO-buffer eviction as future work, and the
+// pagecache ablation experiment quantifies exactly that gap.
+package pagecache
+
+import (
+	"container/list"
+	"sync"
+
+	"blaze/internal/graph"
+)
+
+// Key identifies a cached page. Keying by CSR pointer keeps a forward
+// graph and its transpose from colliding in one cache.
+type Key struct {
+	Graph   *graph.CSR
+	Logical int64
+}
+
+// Cache is a thread-safe LRU page cache.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[Key]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// New returns a cache holding up to capBytes of pages. A non-positive
+// capacity yields a disabled cache (all gets miss, puts are dropped).
+func New(capBytes int64) *Cache {
+	return &Cache{
+		cap:   int(capBytes / graph.PageSize),
+		ll:    list.New(),
+		items: map[Key]*list.Element{},
+	}
+}
+
+// Enabled reports whether the cache can hold at least one page.
+func (c *Cache) Enabled() bool { return c != nil && c.cap > 0 }
+
+// Get copies the cached page into out and reports a hit.
+func (c *Cache) Get(key Key, out []byte) bool {
+	if !c.Enabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	copy(out, el.Value.(*entry).data)
+	return true
+}
+
+// Put inserts a copy of data, evicting least-recently-used pages as
+// needed.
+func (c *Cache) Put(key Key, data []byte) {
+	if !c.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		copy(el.Value.(*entry).data, data)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.items[key] = c.ll.PushFront(&entry{key, cp})
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Bytes returns the cache capacity in bytes (for memory accounting).
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(c.cap) * graph.PageSize
+}

@@ -1,0 +1,124 @@
+package pagecache
+
+import (
+	"sync"
+	"testing"
+
+	"blaze/internal/graph"
+)
+
+func page(fill byte) []byte {
+	b := make([]byte, graph.PageSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(4 * graph.PageSize)
+	g := &graph.CSR{}
+	out := make([]byte, graph.PageSize)
+	if c.Get(Key{g, 0}, out) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(Key{g, 0}, page(7))
+	if !c.Get(Key{g, 0}, out) || out[100] != 7 {
+		t.Fatal("miss or wrong data after Put")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2 * graph.PageSize)
+	g := &graph.CSR{}
+	c.Put(Key{g, 1}, page(1))
+	c.Put(Key{g, 2}, page(2))
+	out := make([]byte, graph.PageSize)
+	c.Get(Key{g, 1}, out)     // touch 1; 2 becomes LRU
+	c.Put(Key{g, 3}, page(3)) // evicts 2
+	if !c.Get(Key{g, 1}, out) {
+		t.Error("recently used page evicted")
+	}
+	if c.Get(Key{g, 2}, out) {
+		t.Error("LRU page not evicted")
+	}
+	if !c.Get(Key{g, 3}, out) {
+		t.Error("new page missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestGraphsDoNotCollide(t *testing.T) {
+	c := New(8 * graph.PageSize)
+	g1, g2 := &graph.CSR{}, &graph.CSR{}
+	c.Put(Key{g1, 5}, page(1))
+	c.Put(Key{g2, 5}, page(2))
+	out := make([]byte, graph.PageSize)
+	c.Get(Key{g1, 5}, out)
+	if out[0] != 1 {
+		t.Error("graph 1 page corrupted by graph 2")
+	}
+	c.Get(Key{g2, 5}, out)
+	if out[0] != 2 {
+		t.Error("graph 2 page wrong")
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, c := range []*Cache{nil, New(0), New(-5)} {
+		if c.Enabled() {
+			t.Error("cache should be disabled")
+		}
+		c.Put(Key{nil, 0}, page(1)) // must not panic
+		if c.Get(Key{nil, 0}, page(0)) {
+			t.Error("disabled cache hit")
+		}
+		if c.Len() != 0 || c.Bytes() < 0 {
+			t.Error("disabled cache accounting")
+		}
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := New(4 * graph.PageSize)
+	g := &graph.CSR{}
+	c.Put(Key{g, 1}, page(1))
+	c.Put(Key{g, 1}, page(9))
+	out := make([]byte, graph.PageSize)
+	c.Get(Key{g, 1}, out)
+	if out[0] != 9 {
+		t.Error("re-Put did not update data")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after duplicate Put", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64 * graph.PageSize)
+	g := &graph.CSR{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out := make([]byte, graph.PageSize)
+			for i := 0; i < 500; i++ {
+				k := Key{g, int64((id*31 + i) % 100)}
+				if !c.Get(k, out) {
+					c.Put(k, page(byte(k.Logical)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("cache exceeded capacity: %d pages", c.Len())
+	}
+}

@@ -1,0 +1,133 @@
+// Package queue provides a bounded multi-producer multi-consumer ring queue.
+//
+// Blaze (SC22, §IV-A and §IV-C) relies on MPMC queues in two places: the
+// full_bins queue that moves full bins from scatter threads to gather
+// threads, and the pair of free/filled IO buffer queues that move 4 kB page
+// buffers between IO threads and computation threads. This package is the
+// real-time implementation of those queues; the virtual-time implementation
+// lives in internal/exec.
+package queue
+
+import "sync"
+
+// Ring is a bounded FIFO queue safe for concurrent use by multiple
+// producers and consumers. A closed Ring rejects new pushes but lets
+// consumers drain remaining items.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []T
+	head     int
+	size     int
+	closed   bool
+}
+
+// NewRing returns an empty ring with the given capacity (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// Push appends v, blocking while the ring is full. It reports false if the
+// ring was closed before the item could be enqueued.
+func (r *Ring[T]) Push(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	r.notEmpty.Signal()
+	return true
+}
+
+// TryPush appends v without blocking. It reports whether the item was
+// enqueued; false means the ring was full or closed.
+func (r *Ring[T]) TryPush(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.size == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	r.notEmpty.Signal()
+	return true
+}
+
+// Pop removes the oldest item, blocking while the ring is empty. It reports
+// false once the ring is closed and drained.
+func (r *Ring[T]) Pop() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	r.notFull.Signal()
+	return v, true
+}
+
+// TryPop removes the oldest item without blocking. It reports whether an
+// item was returned.
+func (r *Ring[T]) TryPop() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	r.notFull.Signal()
+	return v, true
+}
+
+// Close marks the ring closed and wakes all blocked producers and
+// consumers. Close is idempotent.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+}
+
+// Len returns the number of items currently queued.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Cap returns the queue capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Closed reports whether Close has been called.
+func (r *Ring[T]) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}

@@ -1,0 +1,133 @@
+package svgplot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blaze/internal/ssd"
+)
+
+// RenderCSV turns one blaze-bench CSV artifact into an SVG chart, choosing
+// the chart form from the artifact id. ok=false means the artifact is a
+// textual table with no chart form.
+func RenderCSV(path, id string) (svg string, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return "", false, err
+	}
+	if len(rows) < 2 {
+		return "", false, nil
+	}
+	header, data := rows[0], rows[1:]
+
+	optaneGBs := ssd.OptaneSSD.RandBytesPerSec / 1e9
+	switch {
+	case id == "table1" || id == "table2" || strings.HasPrefix(id, "incore"):
+		return "", false, nil // textual tables
+	case strings.Contains(id, "timeline"):
+		// fig2 series: t_ms, GB/s.
+		c := chartFromSeries(header, data, id, "GB/s")
+		c.HLine = optaneGBs
+		return c.Lines(), true, nil
+	case strings.HasPrefix(id, "fig3_") && id != "fig3_summary":
+		// iteration, total, skew -> two lines over iteration.
+		c := chartFromSeries(header, data, id, "bytes")
+		return c.Lines(), true, nil
+	case strings.HasPrefix(id, "fig9_"):
+		c, err := chartFromTable(header, data, id, "time ms", true)
+		if err != nil {
+			return "", false, err
+		}
+		// Thread counts are the column headers: numeric x.
+		lc := transposeToLines(c, header)
+		lc.LogY = true
+		return lc.Lines(), true, nil
+	case id == "fig10" || id == "fig11_bincount" || id == "fig11_ratio":
+		c, err := chartFromTable(header, data, id, header[0], false)
+		if err != nil {
+			return "", false, err
+		}
+		return c.Bars(), true, nil
+	default:
+		// Bandwidth / speedup / footprint tables -> grouped bars.
+		c, err := chartFromTable(header, data, id, "", false)
+		if err != nil {
+			return "", false, err
+		}
+		if strings.HasPrefix(id, "fig1_") || strings.HasPrefix(id, "fig8_") {
+			c.YLabel = "GB/s"
+			c.HLine = optaneGBs
+		}
+		if strings.HasPrefix(id, "fig7_") {
+			c.YLabel = "speedup over baseline"
+			c.HLine = 1
+		}
+		if id == "fig12" {
+			c.YLabel = "% of graph size"
+		}
+		return c.Bars(), true, nil
+	}
+}
+
+// chartFromTable interprets rows as series (first cell = name) and columns
+// as groups.
+func chartFromTable(header []string, data [][]string, id, ylabel string, logY bool) (*Chart, error) {
+	c := &Chart{Title: id, YLabel: ylabel, RowLabels: header[1:], LogY: logY}
+	for _, row := range data {
+		if len(row) != len(header) {
+			continue
+		}
+		vals := make([]float64, 0, len(row)-1)
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("non-numeric cell %q", cell)
+			}
+			vals = append(vals, v)
+		}
+		c.SeriesNames = append(c.SeriesNames, row[0])
+		c.Series = append(c.Series, vals)
+	}
+	return c, nil
+}
+
+// chartFromSeries interprets the first column as numeric x and the rest as
+// line series.
+func chartFromSeries(header []string, data [][]string, id, ylabel string) *Chart {
+	c := &Chart{Title: id, YLabel: ylabel, SeriesNames: header[1:]}
+	c.Series = make([][]float64, len(header)-1)
+	for _, row := range data {
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue
+		}
+		c.XNumeric = append(c.XNumeric, x)
+		for i := 1; i < len(header) && i < len(row); i++ {
+			v, _ := strconv.ParseFloat(row[i], 64)
+			c.Series[i-1] = append(c.Series[i-1], v)
+		}
+	}
+	return c
+}
+
+// transposeToLines flips a bar table (rows = queries, columns = thread
+// counts) into lines over numeric column headers.
+func transposeToLines(c *Chart, header []string) *Chart {
+	lc := &Chart{Title: c.Title, YLabel: c.YLabel, SeriesNames: c.SeriesNames, Series: c.Series}
+	for _, h := range header[1:] {
+		x, err := strconv.ParseFloat(h, 64)
+		if err != nil {
+			x = 0
+		}
+		lc.XNumeric = append(lc.XNumeric, x)
+	}
+	return lc
+}

@@ -1,0 +1,244 @@
+// Package svgplot renders the harness's CSV artifacts into standalone SVG
+// charts (stdlib only), so every reproduced figure can be eyeballed against
+// the paper: grouped bars for the bandwidth/speedup/footprint figures and
+// polylines for timelines, scaling curves, and sweeps.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette cycles across series.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	width   = 760
+	height  = 420
+	marginL = 64
+	marginR = 160
+	marginT = 40
+	marginB = 56
+)
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	YLabel string
+	// RowLabels label the x-axis groups (bars) or are unused (lines).
+	RowLabels []string
+	// Series hold one named value sequence each; for bars, Series[i][j] is
+	// series i's bar in group j.
+	SeriesNames []string
+	Series      [][]float64
+	// HLine draws a horizontal reference line (e.g. device bandwidth) when
+	// non-zero.
+	HLine float64
+	// LogY uses a log10 y-axis (thread-scaling figures).
+	LogY bool
+	// XNumeric are numeric x positions for line charts; nil for bars.
+	XNumeric []float64
+}
+
+func (c *Chart) maxY() float64 {
+	m := c.HLine
+	for _, s := range c.Series {
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	return m
+}
+
+func (c *Chart) minPositiveY() float64 {
+	m := math.Inf(1)
+	for _, s := range c.Series {
+		for _, v := range s {
+			if v > 0 && v < m {
+				m = v
+			}
+		}
+	}
+	if math.IsInf(m, 1) {
+		m = 0.1
+	}
+	return m
+}
+
+// yPos maps a value to pixel space.
+func (c *Chart) yPos(v, yMin, yMax float64) float64 {
+	h := float64(height - marginT - marginB)
+	if c.LogY {
+		if v <= 0 {
+			v = yMin
+		}
+		f := (math.Log10(v) - math.Log10(yMin)) / (math.Log10(yMax) - math.Log10(yMin))
+		return float64(height-marginB) - f*h
+	}
+	return float64(height-marginB) - v/yMax*h
+}
+
+// Bars renders the chart as grouped bars.
+func (c *Chart) Bars() string {
+	var b strings.Builder
+	c.header(&b)
+	yMax := c.maxY() * 1.1
+	c.axes(&b, 0, yMax)
+	groups := len(c.RowLabels)
+	if groups == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	plotW := float64(width - marginL - marginR)
+	groupW := plotW / float64(groups)
+	barW := groupW * 0.8 / float64(max(1, len(c.Series)))
+	for si, series := range c.Series {
+		color := palette[si%len(palette)]
+		for gi, v := range series {
+			if gi >= groups {
+				break
+			}
+			x := float64(marginL) + float64(gi)*groupW + groupW*0.1 + float64(si)*barW
+			y := c.yPos(v, 0, yMax)
+			h := float64(height-marginB) - y
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.3g</title></rect>`+"\n",
+				x, y, barW, h, color, esc(c.name(si)), esc(c.RowLabels[gi]), v)
+		}
+	}
+	for gi, label := range c.RowLabels {
+		x := float64(marginL) + (float64(gi)+0.5)*groupW
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11">%s</text>`+"\n",
+			x, height-marginB+16, esc(label))
+	}
+	c.hline(&b, 0, yMax)
+	c.legend(&b)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Lines renders the chart as one polyline per series over XNumeric.
+func (c *Chart) Lines() string {
+	var b strings.Builder
+	c.header(&b)
+	yMax := c.maxY() * 1.1
+	yMin := 0.0
+	if c.LogY {
+		yMin = c.minPositiveY() / 1.5
+	}
+	c.axes(&b, yMin, yMax)
+	if len(c.XNumeric) == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	xMin, xMax := c.XNumeric[0], c.XNumeric[0]
+	for _, x := range c.XNumeric {
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	plotW := float64(width - marginL - marginR)
+	xPos := func(x float64) float64 {
+		return float64(marginL) + (x-xMin)/(xMax-xMin)*plotW
+	}
+	for si, series := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range series {
+			if i >= len(c.XNumeric) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(c.XNumeric[i]), c.yPos(v, yMin, yMax)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"><title>%s</title></polyline>`+"\n",
+			strings.Join(pts, " "), color, esc(c.name(si)))
+	}
+	// X tick labels at the extremes.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%.3g</text>`+"\n", marginL, height-marginB+16, xMin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-size="11">%.3g</text>`+"\n", width-marginR, height-marginB+16, xMax)
+	c.hline(&b, yMin, yMax)
+	c.legend(&b)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (c *Chart) name(i int) string {
+	if i < len(c.SeriesNames) {
+		return c.SeriesNames[i]
+	}
+	return fmt.Sprintf("series %d", i)
+}
+
+func (c *Chart) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+}
+
+func (c *Chart) axes(b *strings.Builder, yMin, yMax float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	// Four y ticks.
+	for i := 0; i <= 4; i++ {
+		var v float64
+		if c.LogY {
+			v = yMin * math.Pow(yMax/yMin, float64(i)/4)
+		} else {
+			v = yMin + (yMax-yMin)*float64(i)/4
+		}
+		y := c.yPos(v, yMin, yMax)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" font-size="10">%.3g</text>`+"\n",
+			marginL-6, y+3, v)
+	}
+	fmt.Fprintf(b, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, esc(c.YLabel))
+}
+
+func (c *Chart) hline(b *strings.Builder, yMin, yMax float64) {
+	if c.HLine <= 0 {
+		return
+	}
+	y := c.yPos(c.HLine, yMin, yMax)
+	fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="red" stroke-dasharray="5,3"/>`+"\n",
+		marginL, y, width-marginR, y)
+}
+
+func (c *Chart) legend(b *strings.Builder) {
+	for i := range c.Series {
+		y := marginT + 8 + i*18
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			width-marginR+12, y, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-marginR+30, y+10, esc(c.name(i)))
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package svgplot
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func barChart() *Chart {
+	return &Chart{
+		Title:       "test bars",
+		YLabel:      "GB/s",
+		RowLabels:   []string{"a", "b", "c"},
+		SeriesNames: []string{"s1", "s2"},
+		Series:      [][]float64{{1, 2, 3}, {2, 1, 0.5}},
+		HLine:       2.36,
+	}
+}
+
+func TestBarsWellFormed(t *testing.T) {
+	svg := barChart().Bars()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if got := strings.Count(svg, "<rect"); got < 7 { // 6 bars + background + legend swatches
+		t.Errorf("expected >=7 rects, got %d", got)
+	}
+	for _, want := range []string{"test bars", "GB/s", "s1", "s2", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLinesWellFormed(t *testing.T) {
+	c := &Chart{
+		Title:       "test lines",
+		YLabel:      "ms",
+		SeriesNames: []string{"pr", "bfs"},
+		Series:      [][]float64{{10, 5, 2}, {3, 2, 1.5}},
+		XNumeric:    []float64{2, 4, 8},
+		LogY:        true,
+	}
+	svg := c.Lines()
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Error("expected 2 polylines")
+	}
+	if !strings.Contains(svg, "test lines") {
+		t.Error("title missing")
+	}
+}
+
+func TestEmptyChartsDoNotPanic(t *testing.T) {
+	empty := &Chart{Title: "empty"}
+	if !strings.Contains(empty.Bars(), "</svg>") {
+		t.Error("empty Bars not closed")
+	}
+	if !strings.Contains(empty.Lines(), "</svg>") {
+		t.Error("empty Lines not closed")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `a<b&"c"`, RowLabels: []string{"x"}, SeriesNames: []string{"<s>"}, Series: [][]float64{{1}}}
+	svg := c.Bars()
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "<s>") {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestLogAxisHandlesZeros(t *testing.T) {
+	c := &Chart{
+		Title:    "log",
+		Series:   [][]float64{{0, 1, 10}},
+		XNumeric: []float64{1, 2, 3},
+		LogY:     true,
+	}
+	svg := c.Lines()
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("log axis produced NaN/Inf coordinates")
+	}
+}
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := dir + "/" + name
+	if err := osWriteFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderCSVForms(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		id, csv string
+		want    bool // chart produced
+		kind    string
+	}{
+		{"fig8_blaze", "query,r2,r3\nbfs,2.1,2.2\npr,2.0,2.3\n", true, "<rect"},
+		{"fig2_pr_optane_timeline", "t_ms,GB/s\n0,2.5\n1,0\n2,2.4\n", true, "<polyline"},
+		{"fig9_r2", "query,2,4,8\npr,100,50,25\n", true, "<polyline"},
+		{"fig10", "graph,64K,1M\nr2,0.6,2.2\n", true, "<rect"},
+		{"table1", "a,b\nx,1\n", false, ""},
+		{"incore", "a,b\nx,1\n", false, ""},
+	}
+	for _, tc := range cases {
+		path := writeCSV(t, dir, tc.id+".csv", tc.csv)
+		svg, ok, err := RenderCSV(path, tc.id)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		if ok != tc.want {
+			t.Errorf("%s: ok=%v, want %v", tc.id, ok, tc.want)
+		}
+		if ok && !strings.Contains(svg, tc.kind) {
+			t.Errorf("%s: chart lacks %s", tc.id, tc.kind)
+		}
+	}
+}
+
+func TestRenderCSVErrors(t *testing.T) {
+	if _, _, err := RenderCSV("/nonexistent.csv", "fig8_x"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := writeCSV(t, dir, "bad.csv", "query,a\nbfs,notanumber\n")
+	if _, _, err := RenderCSV(path, "fig8_bad"); err == nil {
+		t.Error("non-numeric table accepted")
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
