@@ -174,6 +174,13 @@ func New(opts ...Option) *Runtime {
 	rt.stats = metrics.NewIOStats(rt.numDev)
 	rt.cfg.Stats = rt.stats
 	rt.cfg.Mem = rt.mem
+	if !rt.ctx.IsSim() {
+		// The run pool retains IO buffers, bin buffer pairs, and stagers
+		// across EdgeMap rounds (reset, not reallocated) so iterative
+		// algorithms stop churning the GC. Virtual-time runs keep the seed
+		// allocation pattern for byte-identical figures.
+		rt.cfg.Pool = engine.NewPool()
+	}
 	return rt
 }
 

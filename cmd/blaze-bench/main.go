@@ -6,26 +6,39 @@
 //	blaze-bench -exp fig7              # one experiment
 //	blaze-bench -exp all               # everything (minutes)
 //	blaze-bench -exp fig9 -scale 512   # larger datasets (slower)
+//	blaze-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	blaze-bench -list
 //
 // Results print as aligned tables and are saved under -out (default
-// ./results).
+// ./results). The -cpuprofile/-memprofile flags write pprof profiles of the
+// run for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"blaze/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the exit code back to main so profile-writing defers execute;
+// os.Exit inside main would skip them. The named return lets a failed heap
+// profile write flip an otherwise-successful exit to 1.
+func run() (code int) {
 	exp := flag.String("exp", "", "experiment id (table1, table2, fig1..fig12) or 'all'")
 	scale := flag.Float64("scale", bench.DefaultScale, "divide the paper's dataset sizes by this factor")
 	out := flag.String("out", "results", "output directory for CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -34,9 +47,9 @@ func main() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	var runs []bench.Experiment
@@ -46,9 +59,43 @@ func main() {
 		e, err := bench.ExperimentByID(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		runs = []bench.Experiment{e}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating CPU profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating heap profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	for _, e := range runs {
@@ -59,9 +106,10 @@ func main() {
 			t.Fprint(os.Stdout)
 			if err := t.SaveCSV(*out); err != nil {
 				fmt.Fprintf(os.Stderr, "saving %s: %v\n", t.ID, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("# %s done in %s; CSVs in %s/\n\n", e.ID, time.Since(start).Round(time.Millisecond), *out)
 	}
+	return 0
 }

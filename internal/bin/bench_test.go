@@ -1,0 +1,52 @@
+package bin
+
+import (
+	"testing"
+
+	"blaze/internal/exec"
+)
+
+// BenchmarkStagerEmit measures the scatter hot path: staging one record,
+// including its amortized share of stage flushes into bin buffers. Bin
+// space is sized so buffers never fill (no gather proc needed), which is
+// exactly the steady state inside one EdgeMap round. The Emit path must be
+// allocation-free and atomic-free after warm-up.
+func BenchmarkStagerEmit(b *testing.B) {
+	b.ReportAllocs()
+	ctx := exec.NewReal()
+	ctx.Run("main", func(p exec.Proc) {
+		m := NewManager[int64](ctx, Config{
+			BinCount:    1024,
+			SpaceBytes:  1 << 30, // buffers never fill within one run
+			RecordBytes: 12,
+		})
+		m.Prime(p)
+		// A background gather recycles any buffer that does fill at very
+		// large b.N, so the pair protocol can never stall the benchmark.
+		ctx.Go("gather", func(gp exec.Proc) {
+			for {
+				buf, ok := m.Full.Pop(gp)
+				if !ok {
+					return
+				}
+				m.Return(gp, buf)
+			}
+		})
+		st := m.NewStager()
+		// Warm the lazily-created stage slices so steady-state emits are
+		// measured, then reset the timer.
+		for d := uint32(0); d < 4096; d++ {
+			st.Emit(p, d, 1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Emit(p, uint32(i)&4095, int64(i))
+		}
+		b.StopTimer()
+		st.FlushAll(p)
+		m.CloseFull()
+		if got := st.Emits(); got < int64(b.N) {
+			b.Fatalf("emits = %d, want >= %d", got, b.N)
+		}
+	})
+}

@@ -57,8 +57,12 @@ type Manager[V any] struct {
 
 	stageCap  int
 	flushCost int64
-	records   atomic.Int64
-	flushes   atomic.Int64
+	// records and flushes are aggregated from per-stager counters at
+	// Stager.FlushAll time (one atomic add per stager per round, not one
+	// per record): the scatter hot path stays contention-free, as §IV-A's
+	// atomic-free claim requires.
+	records atomic.Int64
+	flushes atomic.Int64
 }
 
 // Config sizes a Manager.
@@ -126,10 +130,56 @@ func NewManager[V any](ctx exec.Context, cfg Config) *Manager[V] {
 // Prime loads the initial buffer pair into every bin. It must run inside a
 // proc before any Emit.
 func (m *Manager[V]) Prime(p exec.Proc) {
-	for b := 0; b < m.binCount; b++ {
-		m.slot[b].Push(p, &Buffer[V]{BinID: b, Records: make([]Record[V], 0, m.bufCap)})
-		m.empty[b].Push(p, &Buffer[V]{BinID: b, Records: make([]Record[V], 0, m.bufCap)})
+	m.PrimeWith(p, nil)
+}
+
+// PrimeWith is Prime reusing buffers recycled by a previous Manager's
+// Drain: each bin's pair is taken from recycled (reset, not reallocated)
+// while supplies last, then allocated fresh. Recycled buffers whose
+// capacity does not match this Manager's sizing are discarded.
+func (m *Manager[V]) PrimeWith(p exec.Proc, recycled []*Buffer[V]) {
+	next := func(b int) *Buffer[V] {
+		for len(recycled) > 0 {
+			buf := recycled[len(recycled)-1]
+			recycled = recycled[:len(recycled)-1]
+			if cap(buf.Records) == m.bufCap {
+				buf.BinID = b
+				buf.Records = buf.Records[:0]
+				return buf
+			}
+		}
+		return &Buffer[V]{BinID: b, Records: make([]Record[V], 0, m.bufCap)}
 	}
+	for b := 0; b < m.binCount; b++ {
+		m.slot[b].Push(p, next(b))
+		m.empty[b].Push(p, next(b))
+	}
+}
+
+// Drain recovers every buffer parked in the slot and empty queues so a pool
+// can feed them to the next round's PrimeWith. Call it only after the
+// pipeline has fully quiesced (scatters flushed, Full closed and drained,
+// gathers returned their buffers); buffers still in flight are not
+// recovered.
+func (m *Manager[V]) Drain(p exec.Proc) []*Buffer[V] {
+	out := make([]*Buffer[V], 0, 2*m.binCount)
+	for b := 0; b < m.binCount; b++ {
+		for {
+			buf, ok := m.slot[b].TryPop(p)
+			if !ok {
+				break
+			}
+			out = append(out, buf)
+		}
+		for {
+			buf, ok := m.empty[b].TryPop(p)
+			if !ok {
+				break
+			}
+			out = append(out, buf)
+		}
+	}
+	return out
 }
 
 // BinCount returns the number of bins.
@@ -181,7 +231,6 @@ func (m *Manager[V]) flushBin(p exec.Proc, b int, recs []Record[V]) {
 		}
 	}
 	m.slot[b].Push(p, buf)
-	m.flushes.Add(1)
 }
 
 // FlushPartials publishes every bin's non-empty active buffer. Call it from
@@ -218,10 +267,19 @@ func (m *Manager[V]) Return(p exec.Proc, buf *Buffer[V]) {
 
 // Stager is one scatter proc's per-bin staging area (the per-CPU buffer of
 // §IV-A). It is not safe for concurrent use; create one per proc.
+//
+// Counters are proc-local: Emit and the flush path touch no shared state
+// beyond the queue protocol, and the totals reach the Manager in one atomic
+// add per FlushAll instead of one per record.
 type Stager[V any] struct {
-	m     *Manager[V]
-	stage [][]Record[V]
-	emits int64
+	m       *Manager[V]
+	stage   [][]Record[V]
+	emits   int64
+	flushes int64
+	// pubEmits/pubFlushes track what has already been published to the
+	// Manager, so repeated Emit/FlushAll cycles aggregate exactly once.
+	pubEmits   int64
+	pubFlushes int64
 }
 
 // NewStager returns a staging area for one scatter proc.
@@ -238,9 +296,9 @@ func (s *Stager[V]) Emit(p exec.Proc, dst uint32, val V) {
 	}
 	s.stage[b] = append(s.stage[b], Record[V]{dst, val})
 	s.emits++
-	s.m.records.Add(1)
 	if len(s.stage[b]) == s.m.stageCap {
 		s.m.flushBin(p, b, s.stage[b])
+		s.flushes++
 		s.stage[b] = s.stage[b][:0]
 	}
 }
@@ -248,15 +306,42 @@ func (s *Stager[V]) Emit(p exec.Proc, dst uint32, val V) {
 // Emits returns the number of records this stager produced.
 func (s *Stager[V]) Emits() int64 { return s.emits }
 
-// FlushAll drains every non-empty stage; call before the scatter proc
-// exits.
+// FlushAll drains every non-empty stage and publishes this stager's record
+// and flush counts to the Manager; call before the scatter proc exits.
 func (s *Stager[V]) FlushAll(p exec.Proc) {
 	for b, recs := range s.stage {
 		if len(recs) > 0 {
 			s.m.flushBin(p, b, recs)
+			s.flushes++
 			s.stage[b] = recs[:0]
 		}
 	}
+	if d := s.emits - s.pubEmits; d != 0 {
+		s.m.records.Add(d)
+		s.pubEmits = s.emits
+	}
+	if d := s.flushes - s.pubFlushes; d != 0 {
+		s.m.flushes.Add(d)
+		s.pubFlushes = s.flushes
+	}
+}
+
+// Rebind resets the stager for reuse against m (typically the next
+// EdgeMap round's Manager), keeping the per-bin stage slices allocated. It
+// reports false — leaving the stager untouched — when the stager's shape
+// does not match m; the caller should then build a fresh one.
+func (s *Stager[V]) Rebind(m *Manager[V]) bool {
+	if len(s.stage) != m.binCount || s.m.stageCap != m.stageCap {
+		return false
+	}
+	for b, recs := range s.stage {
+		if len(recs) > 0 {
+			s.stage[b] = recs[:0]
+		}
+	}
+	s.m = m
+	s.emits, s.flushes, s.pubEmits, s.pubFlushes = 0, 0, 0, 0
+	return true
 }
 
 // MemBytes returns the staging footprint of one stager.

@@ -23,7 +23,7 @@ func TestPipelinePropertyConservation(t *testing.T) {
 
 		ctx := exec.NewSim()
 		sums := make([]int64, vertices)
-		var gathered int64
+		var gathered, managerRecords int64
 		ctx.Run("main", func(p exec.Proc) {
 			m := NewManager[int64](ctx, Config{
 				BinCount:    binCount,
@@ -67,8 +67,14 @@ func TestPipelinePropertyConservation(t *testing.T) {
 			m.FlushPartials(p)
 			m.CloseFull()
 			gwg.Wait(p)
+			managerRecords = m.Records()
 		})
 		if gathered != int64(records) {
+			return false
+		}
+		// Flush-time aggregation must preserve the invariant that the
+		// Manager's record count equals the total emits across stagers.
+		if managerRecords != int64(records) {
 			return false
 		}
 		// Per-vertex sums must match the arithmetic series split.
@@ -99,6 +105,7 @@ func TestStageCapOverride(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			st.Emit(p, 0, 1)
 		}
+		st.FlushAll(p) // counters publish at flush-time aggregation
 		if m.Flushes() != 2 {
 			t.Errorf("flushes = %d, want 2 (8 records / cap 4)", m.Flushes())
 		}

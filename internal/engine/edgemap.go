@@ -19,6 +19,14 @@ type ioBuffer struct {
 	numPages   int
 }
 
+// ioBatch bounds how many queue items the pipeline procs move per lock
+// acquisition on the real-time backend. Small enough that holding a batch
+// never starves the pipeline (bufCount >= 2*numDev and each gather batch is
+// returned buffer-by-buffer), large enough to amortize the mutex on the
+// per-page hot path. The virtual-time queues transfer one item per batch
+// call regardless, preserving the calibrated figures.
+const ioBatch = 4
+
 // Stats summarizes one EdgeMap execution.
 type Stats struct {
 	PagesRead     int64
@@ -53,11 +61,27 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	numDev := g.Arr.NumDevices()
 	computeProcs := cfg.ScatterProcs + cfg.GatherProcs
 
+	// The pool and queue batching are wall-clock optimizations: under the
+	// virtual-time backend the seed allocation pattern and per-item queue
+	// protocol are kept so figures stay byte-identical (the batch queue
+	// methods degenerate to per-item transfers there by construction).
+	pool := cfg.Pool
+	if ctx.IsSim() {
+		pool = nil
+	}
+
 	// Step 1: vertex frontier -> per-device page frontiers. The paper uses
-	// all available threads for this transformation; we execute it on the
-	// calling proc and charge the modeled parallel cost.
+	// all available threads for this transformation; under the real-time
+	// backend it fans out over the compute procs with per-chunk partial
+	// page sets merged at the end, while the virtual-time backend executes
+	// it on the calling proc and charges the modeled parallel cost.
 	f.Seal()
-	ps := frontier.PagesOf(f, c, numDev)
+	var ps *frontier.PageSubset
+	if !ctx.IsSim() && computeProcs > 1 {
+		ps = frontier.PagesOfParallel(ctx, p, f, c, numDev, computeProcs)
+	} else {
+		ps = frontier.PagesOf(f, c, numDev)
+	}
 	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
 	if ps.Pages() == 0 {
 		return frontier.NewVertexSubset(c.V), st
@@ -65,7 +89,8 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 
 	// IO buffers and their two MPMC queues (steps 2-4, 7).
 	bufPages := cfg.MaxMergePages
-	bufCount := int(cfg.IOBufferBytes / int64(bufPages*ssd.PageSize))
+	bufLen := bufPages * ssd.PageSize
+	bufCount := int(cfg.IOBufferBytes / int64(bufLen))
 	if bufCount < 2*numDev {
 		bufCount = 2 * numDev
 	}
@@ -74,11 +99,16 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	}
 	free := exec.NewQueue[*ioBuffer](ctx, bufCount)
 	filled := exec.NewQueue[*ioBuffer](ctx, bufCount)
-	for i := 0; i < bufCount; i++ {
-		free.Push(p, &ioBuffer{data: make([]byte, bufPages*ssd.PageSize)})
+	var bufs []*ioBuffer
+	if pool != nil {
+		bufs = pool.takeIOBuffers(bufLen, bufCount)
 	}
+	for len(bufs) < bufCount {
+		bufs = append(bufs, &ioBuffer{data: make([]byte, bufLen)})
+	}
+	free.PushN(p, bufs)
 	if cfg.Mem != nil {
-		cfg.Mem.Set("io-buffers", int64(bufCount)*int64(bufPages)*ssd.PageSize)
+		cfg.Mem.Set("io-buffers", int64(bufCount)*int64(bufLen))
 	}
 
 	// Online bins (steps 6, 8).
@@ -90,7 +120,26 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		StageCap:    cfg.StageCap,
 		FlushCostNs: m.BinFlush,
 	})
-	bm.Prime(p)
+	var pooledBins *binState[V]
+	if pool != nil {
+		pooledBins = takeBinState[V](pool)
+	}
+	if pooledBins != nil {
+		bm.PrimeWith(p, pooledBins.bufs)
+	} else {
+		bm.Prime(p)
+	}
+	// Per-scatter-proc stagers, rebound from the pool when their shape
+	// still matches the manager.
+	stagers := make([]*bin.Stager[V], cfg.ScatterProcs)
+	for i := range stagers {
+		if pooledBins != nil && i < len(pooledBins.stagers) &&
+			pooledBins.stagers[i] != nil && pooledBins.stagers[i].Rebind(bm) {
+			stagers[i] = pooledBins.stagers[i]
+		} else {
+			stagers[i] = bm.NewStager()
+		}
+	}
 	if cfg.Mem != nil {
 		cfg.Mem.Set("bin-space", bm.MemBytes(recordBytes))
 		cfg.Mem.Set("frontier", f.Bytes())
@@ -106,12 +155,22 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		ctx.Go(fmt.Sprintf("io%d", dev), func(io exec.Proc) {
 			device := g.Arr.Device(dev)
 			cache := cfg.PageCache
+			// Free buffers are claimed in batches of up to ioBatch under
+			// one lock acquisition (the virtual-time queue hands out one
+			// per call); leftovers go back when the page list runs out.
+			var batch [ioBatch]*ioBuffer
+			bn, bi := 0, 0
 			i := 0
 			for i < len(pages) {
-				buf, ok := free.Pop(io)
-				if !ok {
-					break
+				if bi == bn {
+					bn = free.PopBatch(io, batch[:])
+					bi = 0
+					if bn == 0 {
+						break
+					}
 				}
+				buf := batch[bi]
+				bi++
 				buf.dev = dev
 				// Page-cache hit: serve from memory, no device time.
 				if cache.Enabled() {
@@ -147,6 +206,9 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				filled.PushAt(io, buf, done)
 				i += run
 			}
+			if bi < bn {
+				free.PushN(io, batch[bi:bn])
+			}
 			ioWG.Done(io)
 		})
 	}
@@ -163,20 +225,25 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	for i := 0; i < cfg.ScatterProcs; i++ {
 		id := i
 		ctx.Go(fmt.Sprintf("scatter%d", id), func(sp exec.Proc) {
-			stager := bm.NewStager()
+			stager := stagers[id]
 			local := &scatStats[id]
+			// Filled buffers drain in batches (one per call under virtual
+			// time) and return to the free queue under one lock.
+			var batch [ioBatch]*ioBuffer
 			for {
-				buf, ok := filled.Pop(sp)
-				if !ok {
+				n := filled.PopBatch(sp, batch[:])
+				if n == 0 {
 					break
 				}
-				for pg := 0; pg < buf.numPages; pg++ {
-					logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
-					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
-					scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
+				for _, buf := range batch[:n] {
+					for pg := 0; pg < buf.numPages; pg++ {
+						logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
+						pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+						scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
+					}
+					local.PagesRead += int64(buf.numPages)
 				}
-				local.PagesRead += int64(buf.numPages)
-				free.Push(sp, buf)
+				free.PushN(sp, batch[:n])
 			}
 			stager.FlushAll(sp)
 			scatterWG.Done(sp)
@@ -195,18 +262,25 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				out = frontier.NewVertexSubset(c.V)
 			}
 			updCost := m.Update(m.GatherUpdate, g.Locality)
+			// Full bins drain in batches under one lock acquisition (one
+			// per call under virtual time); each buffer still returns to
+			// its bin right after processing so the pair protocol reclaims
+			// spares promptly.
+			var batch [ioBatch]*bin.Buffer[V]
 			for {
-				bb, ok := bm.Full.Pop(gp)
-				if !ok {
+				n := bm.Full.PopBatch(gp, batch[:])
+				if n == 0 {
 					break
 				}
-				gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
-				for _, r := range bb.Records {
-					if gather(r.Dst, r.Val) && output {
-						out.Add(r.Dst)
+				for _, bb := range batch[:n] {
+					gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
+					for _, r := range bb.Records {
+						if gather(r.Dst, r.Val) && output {
+							out.Add(r.Dst)
+						}
 					}
+					bm.Return(gp, bb)
 				}
-				bm.Return(gp, bb)
 			}
 			outFronts[id] = out
 			gatherWG.Done(gp)
@@ -219,6 +293,23 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	bm.FlushPartials(p)
 	bm.CloseFull()
 	gatherWG.Wait(p)
+
+	// The pipeline has quiesced: every IO buffer is back in the free queue
+	// and every bin buffer is parked in its slot/empty queue. Stock the
+	// pool for the next round.
+	if pool != nil {
+		recovered := make([]*ioBuffer, 0, bufCount)
+		for {
+			buf, ok := free.TryPop(p)
+			if !ok {
+				break
+			}
+			recovered = append(recovered, buf)
+		}
+		pool.putIOBuffers(bufLen, recovered)
+		free.Close()
+		putBinState(pool, &binState[V]{bufs: bm.Drain(p), stagers: stagers})
+	}
 
 	for _, s := range scatStats {
 		st.PagesRead += s.PagesRead

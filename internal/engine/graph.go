@@ -124,6 +124,11 @@ type Config struct {
 	// Stats and Mem receive measurements; either may be nil.
 	Stats *metrics.IOStats
 	Mem   *metrics.MemAccount
+	// Pool, when non-nil, retains IO buffers, bin buffer pairs, and
+	// stagers across EdgeMap calls (reset, not reallocated). It is used
+	// only under the real-time backend; the virtual-time backend keeps the
+	// seed allocation pattern so figures stay byte-identical.
+	Pool *Pool
 }
 
 // DefaultConfig mirrors the paper's defaults for a graph with e edges:

@@ -105,9 +105,25 @@ type Queue[T any] interface {
 	// Resource.Schedule). Under the Real backend it behaves like Push; the
 	// producing Resource already paced the caller.
 	PushAt(p Proc, v T, at int64) bool
+	// PushN appends every item of vs in order. Under the Real backend the
+	// whole batch moves under one lock acquisition per free-space chunk;
+	// under Sim it is semantically identical to len(vs) Push calls, so
+	// virtual-time figures do not depend on the caller's batching. It
+	// reports false if the queue was closed before all items were enqueued.
+	PushN(p Proc, vs []T) bool
 	// Pop removes the oldest item, blocking while empty; it reports false
 	// once the queue is closed and drained.
 	Pop(p Proc) (T, bool)
+	// PopN fills dst, blocking until len(dst) items arrived or the queue
+	// was closed and drained; it returns the number delivered.
+	PopN(p Proc, dst []T) int
+	// PopBatch blocks for at least one item, then drains up to len(dst)
+	// items without further blocking; 0 means closed and drained. The Real
+	// backend moves the whole batch under one lock acquisition. The Sim
+	// backend intentionally returns at most one item per call: virtual-time
+	// item transfer stays per-item so that batching — a wall-clock
+	// optimization — cannot perturb the deterministic figures.
+	PopBatch(p Proc, dst []T) int
 	// TryPop removes the oldest item without blocking.
 	TryPop(p Proc) (T, bool)
 	// Close rejects further pushes and wakes all blocked procs.

@@ -59,6 +59,48 @@ func (q *simQueue[T]) pushStamped(p Proc, v T, at int64) bool {
 	return true
 }
 
+// PushN pushes every item of vs through the ordinary per-item path: under
+// virtual time a batch is defined as len(vs) consecutive pushes, so the
+// engine's real-backend batching cannot change simulated figures.
+func (q *simQueue[T]) PushN(p Proc, vs []T) bool {
+	for _, v := range vs {
+		if !q.pushStamped(p, v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// PopN delivers exactly len(dst) items (fewer only when the queue closes),
+// popping one at a time so each item's availability timestamp advances the
+// popper's clock exactly as under the seed per-item protocol.
+func (q *simQueue[T]) PopN(p Proc, dst []T) int {
+	for i := range dst {
+		v, ok := q.Pop(p)
+		if !ok {
+			return i
+		}
+		dst[i] = v
+	}
+	return len(dst)
+}
+
+// PopBatch under virtual time transfers at most one item per call. Draining
+// several items at once would bump the popper's clock to the latest item's
+// availability before the earlier items were processed, changing the
+// deterministic figures; batching is a wall-clock optimization only.
+func (q *simQueue[T]) PopBatch(p Proc, dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	v, ok := q.Pop(p)
+	if !ok {
+		return 0
+	}
+	dst[0] = v
+	return 1
+}
+
 func (q *simQueue[T]) Pop(p Proc) (T, bool) {
 	sp := q.s.asSim(p)
 	sp.Sync()

@@ -3,19 +3,49 @@
 // timelines (Figure 2), per-iteration per-device IO (Figure 3), and memory
 // footprint accounting (Figure 12). Timestamps come from exec.Proc clocks,
 // so the same collectors work under both wall time and virtual time.
+//
+// The recording paths sit on the engine's IO hot path (one AddRead and one
+// timeline update per request), so both IOStats and Timeline keep one
+// cache-line-padded counter block per device: no shared mutex, no false
+// sharing between IO procs hammering adjacent devices' counters.
 package metrics
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
+// tlShard is one device's private timeline accumulator. Each shard is its
+// own allocation with trailing padding, so two IO procs bumping adjacent
+// shards never contend on a cache line.
+type tlShard struct {
+	mu      sync.Mutex
+	buckets []int64
+	_       [40]byte // pad past the line holding mu+buckets header
+}
+
+// Add records bytes at timestamp now (ns) into the shard.
+func (sh *tlShard) add(bucketNs, now, bytes int64) {
+	idx := int(now / bucketNs)
+	if idx < 0 {
+		idx = 0
+	}
+	sh.mu.Lock()
+	for len(sh.buckets) <= idx {
+		sh.buckets = append(sh.buckets, 0)
+	}
+	sh.buckets[idx] += bytes
+	sh.mu.Unlock()
+}
+
 // Timeline accumulates bytes into fixed-width time buckets, producing a
-// bandwidth-over-time series like Figure 2.
+// bandwidth-over-time series like Figure 2. Writers record through
+// per-device shards (see Shard); readers merge all shards.
 type Timeline struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards shard creation only
 	bucketNs int64
-	buckets  []int64
+	shards   []*tlShard
 }
 
 // NewTimeline returns a timeline with the given bucket width in
@@ -27,30 +57,61 @@ func NewTimeline(bucketNs int64) *Timeline {
 	return &Timeline{bucketNs: bucketNs}
 }
 
+// TimelineShard is one writer's contention-free handle into a Timeline.
+type TimelineShard struct {
+	tl *Timeline
+	sh *tlShard
+}
+
 // Add records bytes at timestamp now (ns).
-func (t *Timeline) Add(now, bytes int64) {
-	idx := int(now / t.bucketNs)
-	if idx < 0 {
-		idx = 0
+func (s *TimelineShard) Add(now, bytes int64) {
+	s.sh.add(s.tl.bucketNs, now, bytes)
+}
+
+// Shard returns the contention-free writer handle for device dev, creating
+// shards as needed. Handles may be retained and used concurrently; two
+// distinct devices' handles never contend.
+func (t *Timeline) Shard(dev int) *TimelineShard {
+	if dev < 0 {
+		dev = 0
 	}
 	t.mu.Lock()
-	for len(t.buckets) <= idx {
-		t.buckets = append(t.buckets, 0)
+	for len(t.shards) <= dev {
+		t.shards = append(t.shards, &tlShard{})
 	}
-	t.buckets[idx] += bytes
+	sh := t.shards[dev]
 	t.mu.Unlock()
+	return &TimelineShard{tl: t, sh: sh}
+}
+
+// Add records bytes at timestamp now (ns) through shard 0, for callers
+// without a per-device handle.
+func (t *Timeline) Add(now, bytes int64) {
+	t.Shard(0).Add(now, bytes)
 }
 
 // BucketNs returns the bucket width.
 func (t *Timeline) BucketNs() int64 { return t.bucketNs }
 
-// Series returns the per-bucket bandwidth in bytes/second.
+// Series returns the per-bucket bandwidth in bytes/second, merged over all
+// shards.
 func (t *Timeline) Series() []float64 {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]float64, len(t.buckets))
-	for i, b := range t.buckets {
-		out[i] = float64(b) / (float64(t.bucketNs) / 1e9)
+	shards := make([]*tlShard, len(t.shards))
+	copy(shards, t.shards)
+	t.mu.Unlock()
+	var out []float64
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if len(sh.buckets) > len(out) {
+			grown := make([]float64, len(sh.buckets))
+			copy(grown, out)
+			out = grown
+		}
+		for i, b := range sh.buckets {
+			out[i] += float64(b) / (float64(t.bucketNs) / 1e9)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -77,63 +138,71 @@ func (t *Timeline) IdleFraction(thresholdBytesPerSec float64) float64 {
 	return float64(idle) / float64(last+1)
 }
 
+// devCounters is one device's read accounting, padded to a cache line so
+// per-device updates from different IO procs never false-share.
+type devCounters struct {
+	bytes    atomic.Int64
+	epoch    atomic.Int64
+	requests atomic.Int64
+	pages    atomic.Int64
+	_        [32]byte // 4x8-byte counters + 32 pad = 64 bytes
+}
+
 // IOStats aggregates per-device read counters for one execution, with an
-// epoch mechanism for per-iteration accounting (Figure 3).
+// epoch mechanism for per-iteration accounting (Figure 3). Recording is
+// atomic per device with no shared lock.
 type IOStats struct {
-	mu         sync.Mutex
-	devBytes   []int64 // total bytes per device
-	epochBytes []int64 // bytes per device since last epoch reset
-	requests   int64
-	pagesRead  int64
+	dev []devCounters
 }
 
 // NewIOStats returns stats for n devices.
 func NewIOStats(n int) *IOStats {
-	return &IOStats{devBytes: make([]int64, n), epochBytes: make([]int64, n)}
+	return &IOStats{dev: make([]devCounters, n)}
 }
 
 // AddRead records one read request of bytes from device dev covering pages
 // pages.
 func (s *IOStats) AddRead(dev int, bytes int64, pages int) {
-	s.mu.Lock()
-	s.devBytes[dev] += bytes
-	s.epochBytes[dev] += bytes
-	s.requests++
-	s.pagesRead += int64(pages)
-	s.mu.Unlock()
+	d := &s.dev[dev]
+	d.bytes.Add(bytes)
+	d.epoch.Add(bytes)
+	d.requests.Add(1)
+	d.pages.Add(int64(pages))
 }
 
 // TotalBytes returns the sum over all devices.
 func (s *IOStats) TotalBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
-	for _, b := range s.devBytes {
-		t += b
+	for i := range s.dev {
+		t += s.dev[i].bytes.Load()
 	}
 	return t
 }
 
 // Requests returns the number of read requests issued.
 func (s *IOStats) Requests() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].requests.Load()
+	}
+	return t
 }
 
 // PagesRead returns the number of 4 kB pages read.
 func (s *IOStats) PagesRead() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pagesRead
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].pages.Load()
+	}
+	return t
 }
 
 // DeviceBytes returns a copy of the per-device byte totals.
 func (s *IOStats) DeviceBytes() []int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]int64, len(s.devBytes))
-	copy(out, s.devBytes)
+	out := make([]int64, len(s.dev))
+	for i := range s.dev {
+		out[i] = s.dev[i].bytes.Load()
+	}
 	return out
 }
 
@@ -141,12 +210,9 @@ func (s *IOStats) DeviceBytes() []int64 {
 // and resets the epoch counters. The engine calls it once per iteration to
 // produce Figure 3's per-iteration skew.
 func (s *IOStats) EndEpoch() []int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]int64, len(s.epochBytes))
-	copy(out, s.epochBytes)
-	for i := range s.epochBytes {
-		s.epochBytes[i] = 0
+	out := make([]int64, len(s.dev))
+	for i := range s.dev {
+		out[i] = s.dev[i].epoch.Swap(0)
 	}
 	return out
 }

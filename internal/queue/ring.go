@@ -51,6 +51,38 @@ func (r *Ring[T]) Push(v T) bool {
 	return true
 }
 
+// PushN appends all of vs in order under a single lock acquisition per
+// chunk of available space, blocking while the ring is full. It reports
+// false if the ring was closed before every item was enqueued (a prefix may
+// have been delivered).
+func (r *Ring[T]) PushN(vs []T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(vs) > 0 {
+		for r.size == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			return false
+		}
+		n := len(r.buf) - r.size
+		if n > len(vs) {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			r.buf[(r.head+r.size+i)%len(r.buf)] = vs[i]
+		}
+		r.size += n
+		vs = vs[n:]
+		if n > 1 {
+			r.notEmpty.Broadcast()
+		} else {
+			r.notEmpty.Signal()
+		}
+	}
+	return true
+}
+
 // TryPush appends v without blocking. It reports whether the item was
 // enqueued; false means the ring was full or closed.
 func (r *Ring[T]) TryPush(v T) bool {
@@ -83,6 +115,65 @@ func (r *Ring[T]) Pop() (T, bool) {
 	r.size--
 	r.notFull.Signal()
 	return v, true
+}
+
+// PopN fills dst, blocking until len(dst) items were delivered or the ring
+// was closed and drained. It returns the number of items written to dst.
+func (r *Ring[T]) PopN(dst []T) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	got := 0
+	for got < len(dst) {
+		for r.size == 0 && !r.closed {
+			r.notEmpty.Wait()
+		}
+		if r.size == 0 {
+			break
+		}
+		got += r.drainLocked(dst[got:])
+	}
+	return got
+}
+
+// PopBatch blocks until at least one item is available (or the ring is
+// closed and drained), then drains up to len(dst) items without further
+// blocking, all under one lock acquisition. It returns the number of items
+// written to dst; 0 means closed and drained.
+func (r *Ring[T]) PopBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.size == 0 {
+		return 0
+	}
+	return r.drainLocked(dst)
+}
+
+// drainLocked moves up to len(dst) currently-queued items into dst and
+// signals producers. Requires r.mu held and r.size > 0.
+func (r *Ring[T]) drainLocked(dst []T) int {
+	n := r.size
+	if n > len(dst) {
+		n = len(dst)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.size -= n
+	if n > 1 {
+		r.notFull.Broadcast()
+	} else {
+		r.notFull.Signal()
+	}
+	return n
 }
 
 // TryPop removes the oldest item without blocking. It reports whether an

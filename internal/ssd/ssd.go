@@ -77,22 +77,25 @@ type Device struct {
 	res     exec.Resource
 	backing Backing
 	stats   *metrics.IOStats
-	tl      *metrics.Timeline
-	lastEnd int64 // local page just past the previous request, for seq detection
+	tl      *metrics.TimelineShard // this device's contention-free shard
+	lastEnd int64                  // local page just past the previous request, for seq detection
 }
 
 // NewDevice returns a device backed by b under ctx's clock. stats and tl
 // may be nil.
 func NewDevice(ctx exec.Context, id int, prof Profile, b Backing, stats *metrics.IOStats, tl *metrics.Timeline) *Device {
-	return &Device{
+	d := &Device{
 		ID:      id,
 		prof:    prof,
 		res:     ctx.NewResource(fmt.Sprintf("ssd%d", id)),
 		backing: b,
 		stats:   stats,
-		tl:      tl,
 		lastEnd: -1,
 	}
+	if tl != nil {
+		d.tl = tl.Shard(id)
+	}
+	return d
 }
 
 // Profile returns the device's bandwidth profile.
