@@ -21,7 +21,7 @@ func ExampleBFS() {
 	sys := algo.NewBlaze(ctx, engine.DefaultConfig(c.E))
 	var parent []int64
 	ctx.Run("main", func(p exec.Proc) {
-		parent = algo.BFS(sys, p, g, 0)
+		parent = algo.Must(algo.BFS(sys, p, g, 0))
 	})
 	fmt.Println(parent[:4])
 	// Output:
@@ -43,7 +43,7 @@ func ExampleSpMV() {
 	}
 	var y []float64
 	ctx.Run("main", func(p exec.Proc) {
-		y = algo.SpMV(sys, p, g, x)
+		y = algo.Must(algo.SpMV(sys, p, g, x))
 	})
 	fmt.Println(y[5], y[0])
 	// Output:

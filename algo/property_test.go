@@ -45,7 +45,7 @@ func TestBFSPropertyValidForest(t *testing.T) {
 		sys, g, _ := blazeOn(ctx, c)
 		var parent []int64
 		ctx.Run("main", func(p exec.Proc) {
-			parent = BFS(sys, p, g, source)
+			parent = Must(BFS(sys, p, g, source))
 		})
 		_, ok := CheckParents(c, source, parent, RefBFSDepth(c, source))
 		return ok
@@ -63,7 +63,7 @@ func TestWCCPropertyMatchesUnionFind(t *testing.T) {
 		sys, g, in := blazeOn(ctx, c)
 		var ids []uint32
 		ctx.Run("main", func(p exec.Proc) {
-			ids = WCC(sys, p, g, in)
+			ids = Must(WCC(sys, p, g, in))
 		})
 		return SamePartition(ids, RefWCC(c))
 	}
@@ -81,7 +81,7 @@ func TestSpMVLinearity(t *testing.T) {
 		sys, g, _ := blazeOn(ctx, c)
 		var y []float64
 		ctx.Run("main", func(p exec.Proc) {
-			y = SpMV(sys, p, g, x)
+			y = Must(SpMV(sys, p, g, x))
 		})
 		return y
 	}
@@ -112,7 +112,7 @@ func TestPageRankMassBound(t *testing.T) {
 	sys, g, _ := blazeOn(ctx, c)
 	var rank []float64
 	ctx.Run("main", func(p exec.Proc) {
-		rank = PageRank(sys, p, g, 1e-6, 40)
+		rank = Must(PageRank(sys, p, g, 1e-6, 40))
 	})
 	var mass float64
 	for _, r := range rank {
@@ -140,7 +140,7 @@ func TestBCPropertyMatchesReference(t *testing.T) {
 		sys, g, in := blazeOn(ctx, c)
 		var dep []float64
 		ctx.Run("main", func(p exec.Proc) {
-			dep = BC(sys, p, g, in, 0)
+			dep = Must(BC(sys, p, g, in, 0))
 		})
 		ref := RefBC(c, 0)
 		for v := range dep {
@@ -163,7 +163,7 @@ func TestBFSDegenerateGraphs(t *testing.T) {
 	sys, g, _ := blazeOn(ctx, c)
 	var parent []int64
 	ctx.Run("main", func(p exec.Proc) {
-		parent = BFS(sys, p, g, 0)
+		parent = Must(BFS(sys, p, g, 0))
 	})
 	if parent[0] != 0 || parent[1] != 0 {
 		t.Errorf("parents = %v", parent[:2])
@@ -182,7 +182,7 @@ func TestWCCNoEdges(t *testing.T) {
 	sys, g, in := blazeOn(ctx, c)
 	var ids []uint32
 	ctx.Run("main", func(p exec.Proc) {
-		ids = WCC(sys, p, g, in)
+		ids = Must(WCC(sys, p, g, in))
 	})
 	for v, id := range ids {
 		if id != uint32(v) {

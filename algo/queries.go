@@ -8,8 +8,9 @@ import (
 
 // BFS runs breadth-first search from src (paper Algorithm 1) and returns
 // the parent array: Parent[v] = predecessor of v in the BFS tree,
-// Parent[src] = src, and -1 for unreachable vertices.
-func BFS(sys System, p exec.Proc, g *engine.Graph, src uint32) []int64 {
+// Parent[src] = src, and -1 for unreachable vertices. A non-nil error means
+// the engine failed mid-traversal; the parent array is partial.
+func BFS(sys System, p exec.Proc, g *engine.Graph, src uint32) ([]int64, error) {
 	n := g.NumVertices()
 	parent := make([]int64, n)
 	for i := range parent {
@@ -29,10 +30,14 @@ func BFS(sys System, p exec.Proc, g *engine.Graph, src uint32) []int64 {
 		Cond: func(d uint32) bool { return parent[d] == -1 },
 	}
 	for !f.Empty() {
-		f = sys.EdgeMap(p, g, f, fns, true)
+		var err error
+		f, err = sys.EdgeMap(p, g, f, fns, true)
+		if err != nil {
+			return parent, err
+		}
 		sys.EndIteration(p)
 	}
-	return parent
+	return parent, nil
 }
 
 // AlgoMemoryBFS returns the algorithm-array bytes BFS allocates (Fig. 12).
@@ -43,7 +48,7 @@ func AlgoMemoryBFS(n uint32) int64 { return int64(n) * 8 }
 // relative to their current rank. It returns the rank vector (proportional
 // to true PageRank; normalize before comparing). maxIter bounds the
 // iteration count (0 = until convergence).
-func PageRank(sys System, p exec.Proc, g *engine.Graph, eps float64, maxIter int) []float64 {
+func PageRank(sys System, p exec.Proc, g *engine.Graph, eps float64, maxIter int) ([]float64, error) {
 	n := g.NumVertices()
 	const damping = 0.85
 	rank := make([]float64, n)
@@ -75,11 +80,14 @@ func PageRank(sys System, p exec.Proc, g *engine.Graph, eps float64, maxIter int
 		return false
 	}
 	for iter := 0; !f.Empty() && (maxIter == 0 || iter < maxIter); iter++ {
-		receivers := sys.EdgeMap(p, g, f, fns, true)
+		receivers, err := sys.EdgeMap(p, g, f, fns, true)
+		if err != nil {
+			return rank, err
+		}
 		f = sys.VertexMap(p, receivers, applyFilter)
 		sys.EndIteration(p)
 	}
-	return rank
+	return rank, nil
 }
 
 // AlgoMemoryPageRank returns PageRank-delta's three float arrays (Fig. 12).
@@ -88,7 +96,7 @@ func AlgoMemoryPageRank(n uint32) int64 { return 3 * int64(n) * 8 }
 // PageRankOneIteration runs exactly one EdgeMap+VertexMap round, the unit
 // the paper uses when comparing against Graphene (which lacks selective
 // scheduling for PR).
-func PageRankOneIteration(sys System, p exec.Proc, g *engine.Graph) []float64 {
+func PageRankOneIteration(sys System, p exec.Proc, g *engine.Graph) ([]float64, error) {
 	return PageRank(sys, p, g, 1e-9, 1)
 }
 
@@ -97,7 +105,7 @@ func PageRankOneIteration(sys System, p exec.Proc, g *engine.Graph) []float64 {
 // is why it propagates over both the forward graph outG and its transpose
 // inG. It returns a label array where two vertices have equal labels iff
 // they are weakly connected.
-func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) []uint32 {
+func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) ([]uint32, error) {
 	n := outG.NumVertices()
 	ids := make([]uint32, n)
 	prev := make([]uint32, n)
@@ -129,14 +137,20 @@ func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) []uint32 {
 	}
 	f := frontier.All(n)
 	for !f.Empty() {
-		a := sys.EdgeMap(p, outG, f, fns, true)
-		b := sys.EdgeMap(p, inG, f, fns, true)
+		a, err := sys.EdgeMap(p, outG, f, fns, true)
+		if err != nil {
+			return ids, err
+		}
+		b, err := sys.EdgeMap(p, inG, f, fns, true)
+		if err != nil {
+			return ids, err
+		}
 		a.Merge(b)
 		a.Merge(f) // shortcutting must also re-check prior frontier members
 		f = sys.VertexMap(p, a, applyFilter)
 		sys.EndIteration(p)
 	}
-	return ids
+	return ids, nil
 }
 
 // AlgoMemoryWCC returns WCC's two ID arrays (Fig. 12).
@@ -145,7 +159,7 @@ func AlgoMemoryWCC(n uint32) int64 { return 2 * int64(n) * 4 }
 // SpMV multiplies the graph's adjacency matrix (edges s→d as A[d][s] = 1,
 // multi-edges accumulate) with the vector x: y[d] = Σ_{s→d} x[s]. One full
 // EdgeMap pass, as in the paper's evaluation.
-func SpMV(sys System, p exec.Proc, g *engine.Graph, x []float64) []float64 {
+func SpMV(sys System, p exec.Proc, g *engine.Graph, x []float64) ([]float64, error) {
 	n := g.NumVertices()
 	y := make([]float64, n)
 	fns := EdgeFuncs{
@@ -156,9 +170,11 @@ func SpMV(sys System, p exec.Proc, g *engine.Graph, x []float64) []float64 {
 		},
 		Cond: func(d uint32) bool { return true },
 	}
-	sys.EdgeMap(p, g, frontier.All(n), fns, false)
+	if _, err := sys.EdgeMap(p, g, frontier.All(n), fns, false); err != nil {
+		return y, err
+	}
 	sys.EndIteration(p)
-	return y
+	return y, nil
 }
 
 // AlgoMemorySpMV returns SpMV's two vectors (Fig. 12).
@@ -170,7 +186,7 @@ func AlgoMemorySpMV(n uint32) int64 { return 2 * int64(n) * 8 }
 // returns the dependency score of every vertex. Like the paper's
 // implementation it stores one frontier per BFS level, which is why BC has
 // the largest memory footprint (§V-F).
-func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) []float64 {
+func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) ([]float64, error) {
 	n := outG.NumVertices()
 	depth := make([]int32, n)
 	sigma := make([]float64, n)
@@ -183,11 +199,13 @@ func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) []float64 
 	var levels []*frontier.VertexSubset
 	f := frontier.Single(n, src)
 	round := int32(0)
+	delta := make([]float64, n)
 	for !f.Empty() {
 		levels = append(levels, f)
 		round++
 		r := round
-		f = sys.EdgeMap(p, outG, f, EdgeFuncs{
+		var err error
+		f, err = sys.EdgeMap(p, outG, f, EdgeFuncs{
 			Scatter: func(s, d uint32) float64 { return sigma[s] },
 			Gather: func(d uint32, v float64) bool {
 				if depth[d] == -1 {
@@ -202,14 +220,16 @@ func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) []float64 
 			},
 			Cond: func(d uint32) bool { return depth[d] == -1 || depth[d] == round },
 		}, true)
+		if err != nil {
+			return delta, err
+		}
 		sys.EndIteration(p)
 	}
 
-	delta := make([]float64, n)
 	for l := len(levels) - 1; l >= 1; l-- {
 		w := levels[l]
 		lvl := int32(l)
-		sys.EdgeMap(p, inG, w, EdgeFuncs{
+		_, err := sys.EdgeMap(p, inG, w, EdgeFuncs{
 			Scatter: func(s, d uint32) float64 { return (1 + delta[s]) / sigma[s] },
 			Gather: func(d uint32, v float64) bool {
 				if depth[d] == lvl-1 {
@@ -219,9 +239,12 @@ func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) []float64 
 			},
 			Cond: func(d uint32) bool { return depth[d] == lvl-1 },
 		}, false)
+		if err != nil {
+			return delta, err
+		}
 		sys.EndIteration(p)
 	}
-	return delta
+	return delta, nil
 }
 
 // AlgoMemoryBC returns BC's arrays plus the per-level frontier estimate

@@ -27,7 +27,7 @@ func TestBFSMatchesReference(t *testing.T) {
 		sys, g, _, c := testSetup(ctx, 1)
 		var parent []int64
 		ctx.Run("main", func(p exec.Proc) {
-			parent = BFS(sys, p, g, 0)
+			parent = Must(BFS(sys, p, g, 0))
 		})
 		depth := RefBFSDepth(c, 0)
 		if v, ok := CheckParents(c, 0, parent, depth); !ok {
@@ -42,7 +42,7 @@ func TestBFSFromSeveralSources(t *testing.T) {
 		sys, g, _, c := testSetup(ctx, 2)
 		var parent []int64
 		ctx.Run("main", func(p exec.Proc) {
-			parent = BFS(sys, p, g, src)
+			parent = Must(BFS(sys, p, g, src))
 		})
 		depth := RefBFSDepth(c, src)
 		if v, ok := CheckParents(c, src, parent, depth); !ok {
@@ -56,7 +56,7 @@ func TestPageRankMatchesReference(t *testing.T) {
 	sys, g, _, c := testSetup(ctx, 3)
 	var rank []float64
 	ctx.Run("main", func(p exec.Proc) {
-		rank = PageRank(sys, p, g, 0.01, 50)
+		rank = Must(PageRank(sys, p, g, 0.01, 50))
 	})
 	ref := RefPageRankDelta(c, 0.01, 50)
 	var maxRel float64
@@ -89,7 +89,7 @@ func TestPageRankRanksHubsHigher(t *testing.T) {
 	sys := NewBlaze(ctx, cfg)
 	var rank []float64
 	ctx.Run("main", func(p exec.Proc) {
-		rank = PageRank(sys, p, g, 0.001, 0)
+		rank = Must(PageRank(sys, p, g, 0.001, 0))
 	})
 	for v := uint32(1); v < n; v++ {
 		if rank[0] <= rank[v] {
@@ -103,7 +103,7 @@ func TestWCCMatchesUnionFind(t *testing.T) {
 	sys, g, in, c := testSetup(ctx, 4)
 	var ids []uint32
 	ctx.Run("main", func(p exec.Proc) {
-		ids = WCC(sys, p, g, in)
+		ids = Must(WCC(sys, p, g, in))
 	})
 	ref := RefWCC(c)
 	if !SamePartition(ids, ref) {
@@ -124,7 +124,7 @@ func TestWCCDisconnected(t *testing.T) {
 	sys := NewBlaze(ctx, cfg)
 	var ids []uint32
 	ctx.Run("main", func(p exec.Proc) {
-		ids = WCC(sys, p, g, in)
+		ids = Must(WCC(sys, p, g, in))
 	})
 	if !SamePartition(ids, RefWCC(c)) {
 		t.Error("WCC wrong on disconnected graph")
@@ -144,7 +144,7 @@ func TestSpMVMatchesReference(t *testing.T) {
 	}
 	var y []float64
 	ctx.Run("main", func(p exec.Proc) {
-		y = SpMV(sys, p, g, x)
+		y = Must(SpMV(sys, p, g, x))
 	})
 	ref := RefSpMV(c, x)
 	for v := range y {
@@ -159,7 +159,7 @@ func TestBCMatchesReference(t *testing.T) {
 	sys, g, in, c := testSetup(ctx, 6)
 	var dep []float64
 	ctx.Run("main", func(p exec.Proc) {
-		dep = BC(sys, p, g, in, 0)
+		dep = Must(BC(sys, p, g, in, 0))
 	})
 	ref := RefBC(c, 0)
 	for v := range dep {
@@ -182,7 +182,7 @@ func TestBCOnPath(t *testing.T) {
 	sys := NewBlaze(ctx, cfg)
 	var dep []float64
 	ctx.Run("main", func(p exec.Proc) {
-		dep = BC(sys, p, g, in, 0)
+		dep = Must(BC(sys, p, g, in, 0))
 	})
 	want := []float64{3, 2, 1, 0}
 	for v := 0; v < 4; v++ {
@@ -211,7 +211,7 @@ func TestPageRankOneIteration(t *testing.T) {
 	sys, g, _, c := testSetup(ctx, 8)
 	var rank []float64
 	ctx.Run("main", func(p exec.Proc) {
-		rank = PageRankOneIteration(sys, p, g)
+		rank = Must(PageRankOneIteration(sys, p, g))
 	})
 	ref := RefPageRankDelta(c, 1e-9, 1)
 	for v := range rank {

@@ -32,8 +32,11 @@ type EdgeFuncs struct {
 type System interface {
 	Name() string
 	// EdgeMap applies fns to the edges out of frontier f on graph g,
-	// returning the output frontier when output is true.
-	EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) *frontier.VertexSubset
+	// returning the output frontier when output is true (nil otherwise).
+	// A non-nil error means the underlying engine failed (e.g. an
+	// unrecoverable device read); the frontier is nil and the traversal
+	// state may be partially updated.
+	EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) (*frontier.VertexSubset, error)
 	// VertexMap applies fn to the frontier in memory.
 	VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset
 	// EndIteration marks an algorithm iteration boundary (used for
@@ -79,10 +82,23 @@ func NewBlaze(ctx exec.Context, cfg engine.Config) *Blaze {
 func (b *Blaze) Name() string { return "blaze" }
 
 // EdgeMap implements System via the online-binning engine.
-func (b *Blaze) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) *frontier.VertexSubset {
-	out, st := engine.EdgeMap(b.Ctx, p, g, f, fns.Scatter, fns.Gather, fns.Cond, output, b.Cfg)
+func (b *Blaze) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset, fns EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
+	out, st, err := engine.EdgeMap(b.Ctx, p, g, f, fns.Scatter, fns.Gather, fns.Cond, output, b.Cfg)
 	b.LastStats = st
-	return out
+	return out, err
+}
+
+// Must unwraps a (value, error) pair, panicking on a non-nil error. It is a
+// convenience for harnesses and tests running fault-free configurations,
+// where an EdgeMap failure indicates a programming error rather than an
+// expected runtime condition:
+//
+//	parent := algo.Must(algo.BFS(sys, p, g, src))
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic("algo: " + err.Error())
+	}
+	return v
 }
 
 // VertexMap implements System.

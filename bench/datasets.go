@@ -88,11 +88,16 @@ func DropCache() {
 	dsCache = map[string]*Dataset{}
 }
 
+// DeviceOpts is applied to every device the harness builds. It is empty by
+// default — figure runs must stay byte-identical — and is populated by
+// blaze-bench's -fault*/-retry* flags for failure-injection drills.
+var DeviceOpts []ssd.DeviceOptions
+
 // Graphs wraps the cached CSRs as device-backed graphs under ctx.
 func (d *Dataset) Graphs(ctx exec.Context, numDev int, prof ssd.Profile,
 	stats *metrics.IOStats, tl *metrics.Timeline) (out, in *engine.Graph) {
-	out = engine.FromCSR(ctx, d.Preset.Name, d.CSR, numDev, prof, stats, tl)
-	in = engine.FromCSR(ctx, d.Preset.Name+".t", d.Tr, numDev, prof, stats, tl)
+	out = engine.FromCSR(ctx, d.Preset.Name, d.CSR, numDev, prof, stats, tl, DeviceOpts...)
+	in = engine.FromCSR(ctx, d.Preset.Name+".t", d.Tr, numDev, prof, stats, tl, DeviceOpts...)
 	out.Locality, in.Locality = d.Preset.Locality, d.Preset.Locality
 	out.HotFrac, in.HotFrac = d.Hot, d.Hot
 	return out, in

@@ -97,17 +97,17 @@ func runWithEngine(d *Dataset, query string, mutate func(*engine.Config)) Result
 func runQuery(sys algo.System, p exec.Proc, query string, out, in *engine.Graph, start uint32) {
 	switch query {
 	case "bfs":
-		algo.BFS(sys, p, out, start)
+		algo.Must(algo.BFS(sys, p, out, start))
 	case "pr":
-		algo.PageRank(sys, p, out, 1e-9, 15)
+		algo.Must(algo.PageRank(sys, p, out, 1e-9, 15))
 	case "pr1":
-		algo.PageRankOneIteration(sys, p, out)
+		algo.Must(algo.PageRankOneIteration(sys, p, out))
 	case "wcc":
-		algo.WCC(sys, p, out, in)
+		algo.Must(algo.WCC(sys, p, out, in))
 	case "spmv":
-		algo.SpMV(sys, p, out, make([]float64, out.NumVertices()))
+		algo.Must(algo.SpMV(sys, p, out, make([]float64, out.NumVertices())))
 	case "bc":
-		algo.BC(sys, p, out, in, start)
+		algo.Must(algo.BC(sys, p, out, in, start))
 	default:
 		panic("bench: unknown query " + query)
 	}

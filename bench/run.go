@@ -159,7 +159,7 @@ func Run(d *Dataset, o Opts) Result {
 	ctx.Run("main", func(p exec.Proc) {
 		switch o.Query {
 		case "bfs":
-			parent := algo.BFS(sys, p, out, d.Start)
+			parent := algo.Must(algo.BFS(sys, p, out, d.Start))
 			res.AlgoBytes = algo.AlgoMemoryBFS(out.NumVertices())
 			_ = parent
 		case "pr":
@@ -167,23 +167,23 @@ func Run(d *Dataset, o Opts) Result {
 			// iterations, matching full-scale behaviour where PR-delta
 			// needs far more iterations to converge than the scaled
 			// datasets do.
-			algo.PageRank(sys, p, out, 1e-9, o.PRIters)
+			algo.Must(algo.PageRank(sys, p, out, 1e-9, o.PRIters))
 			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
 		case "pr1":
-			algo.PageRankOneIteration(sys, p, out)
+			algo.Must(algo.PageRankOneIteration(sys, p, out))
 			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
 		case "wcc":
-			algo.WCC(sys, p, out, in)
+			algo.Must(algo.WCC(sys, p, out, in))
 			res.AlgoBytes = algo.AlgoMemoryWCC(out.NumVertices())
 		case "spmv":
 			x := make([]float64, out.NumVertices())
 			for i := range x {
 				x[i] = 1
 			}
-			algo.SpMV(sys, p, out, x)
+			algo.Must(algo.SpMV(sys, p, out, x))
 			res.AlgoBytes = algo.AlgoMemorySpMV(out.NumVertices())
 		case "bc":
-			algo.BC(sys, p, out, in, d.Start)
+			algo.Must(algo.BC(sys, p, out, in, d.Start))
 			levels := len(sys.IterDeviceBytes())
 			res.Levels = levels
 			res.AlgoBytes = algo.AlgoMemoryBC(out.NumVertices(), levels)

@@ -17,7 +17,8 @@
 //	    parent[0] = 0
 //	    f := blaze.Single(g.NumVertices(), 0)
 //	    for !f.Empty() {
-//	        f = blaze.EdgeMap(c, g, f,
+//	        var err error
+//	        f, err = blaze.EdgeMap(c, g, f,
 //	            func(s, d uint32) uint32 { return s },
 //	            func(d uint32, v uint32) bool {
 //	                if parent[d] == -1 { parent[d] = int32(v); return true }
@@ -25,6 +26,11 @@
 //	            },
 //	            func(d uint32) bool { return parent[d] == -1 },
 //	            true)
+//	        if err != nil {
+//	            // an unrecoverable device error; the pipeline has shut
+//	            // down cleanly and the traversal state is partial
+//	            break
+//	        }
 //	    }
 //	})
 //
@@ -41,6 +47,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/engine"
 	"blaze/internal/exec"
+	"blaze/internal/fault"
 	"blaze/internal/frontier"
 	"blaze/internal/graph"
 	"blaze/internal/metrics"
@@ -70,6 +77,7 @@ type Runtime struct {
 	cfg     engine.Config
 	profile ssd.Profile
 	numDev  int
+	devOpts []ssd.DeviceOptions
 	stats   *metrics.IOStats
 	tl      *metrics.Timeline
 	mem     *metrics.MemAccount
@@ -145,6 +153,32 @@ func WithDevices(n int, prof DeviceProfile) Option {
 // graphs like sk2005 at the price of memory (see the pagecache ablation).
 func WithPageCache(bytes int64) Option {
 	return func(rt *Runtime) { rt.cfg.PageCache = pagecache.New(bytes) }
+}
+
+// FaultPolicy is a deterministic device-fault model for testing failure
+// handling: per-page transient and permanent read-error rates plus optional
+// latency spikes, all keyed by a seed. The zero value injects nothing.
+type FaultPolicy = fault.Policy
+
+// WithFaultPolicy injects deterministic device faults into every graph
+// created by this runtime. Transient errors are absorbed by the device
+// retry policy (with backoff charged in model time); permanent errors
+// surface as EdgeMap errors after a clean pipeline shutdown.
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(rt *Runtime) {
+		rt.devOpts = append(rt.devOpts, p.DeviceOptions())
+	}
+}
+
+// WithRetryPolicy overrides how device reads retry transient errors:
+// maxRetries bounded attempts with exponential backoff starting at
+// backoffNs (charged as device busy time).
+func WithRetryPolicy(maxRetries int, backoffNs int64) Option {
+	return func(rt *Runtime) {
+		rt.devOpts = append(rt.devOpts, ssd.DeviceOptions{
+			Retry: &ssd.RetryPolicy{MaxRetries: maxRetries, BackoffNs: backoffNs},
+		})
+	}
 }
 
 // WithCostModel overrides the virtual-time cost model.
@@ -258,7 +292,7 @@ func (rt *Runtime) MaxReadBandwidth() float64 {
 // over the runtime's devices.
 func (c *Ctx) GraphFromEdges(name string, n uint32, src, dst []uint32) (*Graph, error) {
 	csr := graph.Build(n, src, dst)
-	g := engine.FromCSR(c.rt.ctx, name, csr, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	g := engine.FromCSR(c.rt.ctx, name, csr, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl, c.rt.devOpts...)
 	c.accountGraph(g)
 	return g, nil
 }
@@ -266,7 +300,7 @@ func (c *Ctx) GraphFromEdges(name string, n uint32, src, dst []uint32) (*Graph, 
 // GraphFromPreset generates a Table II dataset preset (already Scaled) and
 // returns the forward and transpose graphs.
 func (c *Ctx) GraphFromPreset(p gen.Preset) (out, in *Graph) {
-	out, in = engine.BuildPreset(c.rt.ctx, p, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	out, in = engine.BuildPreset(c.rt.ctx, p, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl, c.rt.devOpts...)
 	c.accountGraph(out)
 	return out, in
 }
@@ -274,7 +308,7 @@ func (c *Ctx) GraphFromPreset(p gen.Preset) (out, in *Graph) {
 // LoadGraph opens an on-disk graph (<base>.gr.index / <base>.gr.adj.0 as
 // written by cmd/mkgraph) with the adjacency left on storage.
 func (c *Ctx) LoadGraph(name, indexPath, adjPath string) (*Graph, error) {
-	g, err := engine.FromFiles(c.rt.ctx, name, indexPath, adjPath, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl)
+	g, err := engine.FromFiles(c.rt.ctx, name, indexPath, adjPath, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl, c.rt.devOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -311,14 +345,17 @@ func (c *Ctx) RegisterAlgoMemory(bytes int64) {
 }
 
 // EdgeMap applies scatter/gather/cond to the edges out of frontier f and
-// returns the new frontier when output is true (see engine.EdgeMap).
+// returns the new frontier when output is true, nil otherwise (see
+// engine.EdgeMap). A non-nil error means an unrecoverable device failure;
+// the pipeline has shut down cleanly, the frontier is nil, and the
+// traversal state may be partially updated.
 func EdgeMap[V any](c *Ctx, g *Graph, f *VertexSubset,
 	scatter func(s, d uint32) V,
 	gather func(d uint32, v V) bool,
 	cond func(d uint32) bool,
-	output bool) *VertexSubset {
-	out, _ := engine.EdgeMap(c.rt.ctx, c.P, g, f, scatter, gather, cond, output, c.rt.cfg)
-	return out
+	output bool) (*VertexSubset, error) {
+	out, _, err := engine.EdgeMap(c.rt.ctx, c.P, g, f, scatter, gather, cond, output, c.rt.cfg)
+	return out, err
 }
 
 // VertexMap applies fn to every vertex in f, returning the vertices for

@@ -21,7 +21,7 @@ func bfsParents(rt *blaze.Runtime, n uint32, src, dst []uint32, root uint32) []i
 		parent[root] = int32(root)
 		f := blaze.Single(n, root)
 		for !f.Empty() {
-			f = blaze.EdgeMap(c, g, f,
+			f, err = blaze.EdgeMap(c, g, f,
 				func(s, d uint32) uint32 { return s },
 				func(d uint32, v uint32) bool {
 					if parent[d] == -1 {
@@ -32,6 +32,9 @@ func bfsParents(rt *blaze.Runtime, n uint32, src, dst []uint32, root uint32) []i
 				},
 				func(d uint32) bool { return parent[d] == -1 },
 				true)
+			if err != nil {
+				panic(err)
+			}
 		}
 	})
 	return parent

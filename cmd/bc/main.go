@@ -24,13 +24,21 @@ func main() {
 	defer env.Close()
 	var maxV uint32
 	var maxDep float64
+	var qerr error
 	env.Ctx.Run("main", func(p exec.Proc) {
-		dep := algo.BC(env.Sys, p, env.Out, env.In, uint32(opts.StartNode))
+		dep, err := algo.BC(env.Sys, p, env.Out, env.In, uint32(opts.StartNode))
+		if err != nil {
+			qerr = err
+			return
+		}
 		for v, d := range dep {
 			if d > maxDep {
 				maxDep, maxV = d, uint32(v)
 			}
 		}
 	})
+	if qerr != nil {
+		log.Fatalf("bc: %v", qerr)
+	}
 	env.Report("bc", fmt.Sprintf("highest dependency: vertex %d (%.2f)", maxV, maxDep))
 }

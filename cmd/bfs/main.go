@@ -20,14 +20,22 @@ func main() {
 	}
 	defer env.Close()
 	var reached int64
+	var qerr error
 	env.Ctx.Run("main", func(p exec.Proc) {
-		parent := algo.BFS(env.Sys, p, env.Out, uint32(opts.StartNode))
+		parent, err := algo.BFS(env.Sys, p, env.Out, uint32(opts.StartNode))
+		if err != nil {
+			qerr = err
+			return
+		}
 		for _, pa := range parent {
 			if pa != -1 {
 				reached++
 			}
 		}
 	})
+	if qerr != nil {
+		log.Fatalf("bfs: %v", qerr)
+	}
 	env.Report("bfs", fmt.Sprintf("reached %d vertices from %d in %d levels",
 		reached, opts.StartNode, len(env.Sys.IterDeviceBytes())))
 }

@@ -7,7 +7,14 @@
 //	blaze-bench -exp all               # everything (minutes)
 //	blaze-bench -exp fig9 -scale 512   # larger datasets (slower)
 //	blaze-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
+//	blaze-bench -exp fig8 -faultTransientRate 0.001  # failure drill
 //	blaze-bench -list
+//
+// The -fault* flags inject deterministic device faults (see internal/fault)
+// and -retryMax/-retryBackoffNs override the device retry policy; both
+// change the modeled timings, so drill outputs are not comparable to the
+// paper figures. An unrecoverable fault aborts the run with the device
+// error (the harness treats query failure as fatal).
 //
 // Results print as aligned tables and are saved under -out (default
 // ./results). The -cpuprofile/-memprofile flags write pprof profiles of the
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"blaze/bench"
+	"blaze/internal/cli"
 )
 
 func main() {
@@ -39,7 +47,21 @@ func run() (code int) {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	fo := &cli.Options{}
+	flag.Uint64Var(&fo.FaultSeed, "faultSeed", 1, "fault-injection seed (deterministic per page)")
+	flag.Float64Var(&fo.FaultTransientRate, "faultTransientRate", 0, "fraction of pages whose reads fail transiently (0 = off)")
+	flag.IntVar(&fo.FaultTransientFails, "faultTransientFails", 1, "failed attempts before a transient-faulty page heals")
+	flag.Float64Var(&fo.FaultPermanentRate, "faultPermanentRate", 0, "fraction of pages that are permanently unreadable (0 = off)")
+	flag.Float64Var(&fo.FaultSpikeRate, "faultSpikeRate", 0, "fraction of requests with extra modeled latency (0 = off)")
+	flag.Int64Var(&fo.FaultSpikeNs, "faultSpikeNs", 0, "extra latency per spiked request in ns")
+	flag.IntVar(&fo.RetryMax, "retryMax", -1, "max transient-error retries per read (-1 = device default)")
+	flag.Int64Var(&fo.RetryBackoffNs, "retryBackoffNs", 0, "initial retry backoff in ns, doubling per attempt (0 = device default)")
 	flag.Parse()
+
+	if fo.FaultPolicy().Enabled() || fo.RetryMax >= 0 || fo.RetryBackoffNs > 0 {
+		bench.DeviceOpts = fo.DeviceOptions()
+		fmt.Fprintln(os.Stderr, "note: fault injection / retry overrides active; outputs will diverge from the paper figures")
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

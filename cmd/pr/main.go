@@ -21,9 +21,13 @@ func main() {
 	}
 	defer env.Close()
 	var rank []float64
+	var qerr error
 	env.Ctx.Run("main", func(p exec.Proc) {
-		rank = algo.PageRank(env.Sys, p, env.Out, opts.Epsilon, opts.MaxIters)
+		rank, qerr = algo.PageRank(env.Sys, p, env.Out, opts.Epsilon, opts.MaxIters)
 	})
+	if qerr != nil {
+		log.Fatalf("pr: %v", qerr)
+	}
 	type vr struct {
 		v uint32
 		r float64

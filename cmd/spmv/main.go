@@ -21,15 +21,23 @@ func main() {
 	}
 	defer env.Close()
 	var sum float64
+	var qerr error
 	env.Ctx.Run("main", func(p exec.Proc) {
 		x := make([]float64, env.Out.NumVertices())
 		for i := range x {
 			x[i] = 1
 		}
-		y := algo.SpMV(env.Sys, p, env.Out, x)
+		y, err := algo.SpMV(env.Sys, p, env.Out, x)
+		if err != nil {
+			qerr = err
+			return
+		}
 		for _, v := range y {
 			sum += v
 		}
 	})
+	if qerr != nil {
+		log.Fatalf("spmv: %v", qerr)
+	}
 	env.Report("spmv", fmt.Sprintf("sum(y) = %.0f (equals |E| for x = 1)", sum))
 }

@@ -24,8 +24,13 @@ func main() {
 	defer env.Close()
 	var components int
 	var largest int
+	var qerr error
 	env.Ctx.Run("main", func(p exec.Proc) {
-		ids := algo.WCC(env.Sys, p, env.Out, env.In)
+		ids, err := algo.WCC(env.Sys, p, env.Out, env.In)
+		if err != nil {
+			qerr = err
+			return
+		}
 		sizes := map[uint32]int{}
 		for _, id := range ids {
 			sizes[id]++
@@ -37,5 +42,8 @@ func main() {
 			}
 		}
 	})
+	if qerr != nil {
+		log.Fatalf("wcc: %v", qerr)
+	}
 	env.Report("wcc", fmt.Sprintf("%d components, largest has %d vertices", components, largest))
 }

@@ -16,7 +16,7 @@ func ExampleEdgeMap() {
 			[]uint32{0, 0, 1, 2},
 			[]uint32{1, 2, 3, 3})
 		parent := []int32{0, -1, -1, -1}
-		next := blaze.EdgeMap(c, g, blaze.Single(4, 0),
+		next, _ := blaze.EdgeMap(c, g, blaze.Single(4, 0),
 			func(s, d uint32) uint32 { return s },
 			func(d uint32, v uint32) bool {
 				if parent[d] == -1 {

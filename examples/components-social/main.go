@@ -17,6 +17,15 @@ import (
 	"blaze/gen"
 )
 
+// must unwraps an EdgeMap result; this demo runs on fault-free simulated
+// devices, so an error would be a bug rather than an expected condition.
+func must(f *blaze.VertexSubset, err error) *blaze.VertexSubset {
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 func main() {
 	preset, err := gen.PresetByShort("fr")
 	if err != nil {
@@ -54,8 +63,8 @@ func main() {
 		frontier := blaze.All(n)
 		rounds := 0
 		for !frontier.Empty() {
-			a := blaze.EdgeMap(c, g, frontier, scatter, gather, cond, true)
-			b := blaze.EdgeMap(c, tg, frontier, scatter, gather, cond, true)
+			a := must(blaze.EdgeMap(c, g, frontier, scatter, gather, cond, true))
+			b := must(blaze.EdgeMap(c, tg, frontier, scatter, gather, cond, true))
 			a.Merge(b)
 			a.Merge(frontier)
 			frontier = blaze.VertexMap(c, a, func(i uint32) bool {
@@ -102,7 +111,7 @@ func main() {
 		f := blaze.Single(n, hub)
 		hops := 0
 		for !f.Empty() {
-			f = blaze.EdgeMap(c, g, f,
+			f = must(blaze.EdgeMap(c, g, f,
 				func(s, d uint32) uint32 { return s },
 				func(d uint32, v uint32) bool {
 					if parent[d] == -1 {
@@ -112,7 +121,7 @@ func main() {
 					return false
 				},
 				func(d uint32) bool { return parent[d] == -1 },
-				true)
+				true))
 			hops++
 		}
 		reached := 0

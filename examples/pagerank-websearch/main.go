@@ -43,11 +43,14 @@ func main() {
 
 		frontier := blaze.All(n)
 		for iter := 0; !frontier.Empty() && iter < 30; iter++ {
-			receivers := blaze.EdgeMap(c, g, frontier,
+			receivers, err := blaze.EdgeMap(c, g, frontier,
 				func(s, d uint32) float64 { return delta[s] / float64(g.CSR.Degree(s)) },
 				func(d uint32, v float64) bool { nghSum[d] += v; return true },
 				func(d uint32) bool { return true },
 				true)
+			if err != nil {
+				panic(err)
+			}
 			frontier = blaze.VertexMap(c, receivers, func(i uint32) bool {
 				delta[i] = nghSum[i] * damping
 				nghSum[i] = 0

@@ -37,7 +37,7 @@ func main() {
 		level := 0
 		for !frontier.Empty() {
 			fmt.Printf("level %d: %d vertices in frontier\n", level, frontier.Count())
-			frontier = blaze.EdgeMap(c, g, frontier,
+			frontier, err = blaze.EdgeMap(c, g, frontier,
 				// scatter: propagate the source ID along each edge.
 				func(s, d uint32) uint32 { return s },
 				// gather: first writer becomes the parent; activating d.
@@ -51,6 +51,11 @@ func main() {
 				// cond: skip edges into already-visited vertices.
 				func(d uint32) bool { return parent[d] == -1 },
 				true)
+			if err != nil {
+				// An unrecoverable device error: the pipeline has already
+				// shut down cleanly, so just report and stop.
+				panic(err)
+			}
 			level++
 		}
 

@@ -46,7 +46,7 @@ func TestAllSystemsBFS(t *testing.T) {
 		sys, g, _ := systems(ctx, 21)
 		var parent []int64
 		ctx.Run("main", func(p exec.Proc) {
-			parent = algo.BFS(sys[name], p, g, 0)
+			parent = algo.Must(algo.BFS(sys[name], p, g, 0))
 		})
 		depth := algo.RefBFSDepth(g.CSR, 0)
 		if v, ok := algo.CheckParents(g.CSR, 0, parent, depth); !ok {
@@ -61,7 +61,7 @@ func TestAllSystemsPageRank(t *testing.T) {
 		sys, g, _ := systems(ctx, 22)
 		var rank []float64
 		ctx.Run("main", func(p exec.Proc) {
-			rank = algo.PageRank(sys[name], p, g, 0.01, 30)
+			rank = algo.Must(algo.PageRank(sys[name], p, g, 0.01, 30))
 		})
 		ref := algo.RefPageRankDelta(g.CSR, 0.01, 30)
 		for v := range rank {
@@ -78,7 +78,7 @@ func TestAllSystemsWCC(t *testing.T) {
 		sys, g, in := systems(ctx, 23)
 		var ids []uint32
 		ctx.Run("main", func(p exec.Proc) {
-			ids = algo.WCC(sys[name], p, g, in)
+			ids = algo.Must(algo.WCC(sys[name], p, g, in))
 		})
 		if !algo.SamePartition(ids, algo.RefWCC(g.CSR)) {
 			t.Errorf("%s: WCC partition mismatch", name)
@@ -97,7 +97,7 @@ func TestAllSystemsSpMV(t *testing.T) {
 		}
 		var y []float64
 		ctx.Run("main", func(p exec.Proc) {
-			y = algo.SpMV(sys[name], p, g, x)
+			y = algo.Must(algo.SpMV(sys[name], p, g, x))
 		})
 		ref := algo.RefSpMV(g.CSR, x)
 		for v := range y {
@@ -114,7 +114,7 @@ func TestAllSystemsBC(t *testing.T) {
 		sys, g, in := systems(ctx, 25)
 		var dep []float64
 		ctx.Run("main", func(p exec.Proc) {
-			dep = algo.BC(sys[name], p, g, in, 0)
+			dep = algo.Must(algo.BC(sys[name], p, g, in, 0))
 		})
 		ref := algo.RefBC(g.CSR, 0)
 		for v := range dep {

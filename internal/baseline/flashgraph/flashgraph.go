@@ -113,9 +113,11 @@ func owner(v, n uint32, workers int) int {
 }
 
 // EdgeMap implements algo.System with the two-phase message-passing
-// execution: (IO + scatter) then a barrier, then message processing.
+// execution: (IO + scatter) then a barrier, then message processing. On an
+// unrecoverable device error the pipeline drains, every proc joins, and
+// the error is returned with a nil frontier.
 func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
-	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
 	ctx := s.Ctx
 	cfg := s.Cfg
@@ -128,7 +130,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	ps := frontier.PagesOf(f, c, numDev)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
 	if ps.Pages() == 0 {
-		return frontier.NewVertexSubset(c.V)
+		if !output {
+			return nil, nil
+		}
+		return frontier.NewVertexSubset(c.V), nil
 	}
 
 	bufCount := int(cfg.IOBufferBytes / ssd.PageSize)
@@ -145,6 +150,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	}
 
 	// IO procs, one per device, 4 kB requests with an LRU cache in front.
+	ab := &exec.Latch{}
 	ioWG := ctx.NewWaitGroup()
 	ioWG.Add(numDev)
 	for d := 0; d < numDev; d++ {
@@ -153,9 +159,15 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		ctx.Go(fmt.Sprintf("fg-io%d", dev), func(io exec.Proc) {
 			device := g.Arr.Device(dev)
 			for _, local := range pages {
+				if ab.Failed() {
+					break
+				}
 				logical := g.Arr.Logical(dev, local)
 				buf, ok := free.Pop(io)
-				if !ok {
+				if !ok || ab.Failed() {
+					if ok {
+						free.Push(io, buf)
+					}
 					break
 				}
 				buf.logical = logical
@@ -169,7 +181,9 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				io.Advance(m.IOSubmit(1))
 				done, err := device.ScheduleRead(io, local, 1, buf.data)
 				if err != nil {
-					panic(err)
+					ab.Fail(fmt.Errorf("flashgraph: edgemap on %q: %w", g.Name, err))
+					free.Push(io, buf)
+					break
 				}
 				io.Sync()
 				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.data)
@@ -207,6 +221,11 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				if !ok {
 					break
 				}
+				if ab.Failed() {
+					// Drain-and-recycle so blocked IO procs wake.
+					free.Push(sp, buf)
+					continue
+				}
 				var produced int64
 				vertices, edges := engine.ForEachActiveEdge(c, f, buf.logical, buf.data, func(src, d uint32) {
 					if fns.Cond(d) {
@@ -228,6 +247,13 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		})
 	}
 	scatterWG.Wait(p)
+	free.Close()
+	filled.Close()
+	if err := ab.Err(); err != nil {
+		// The iteration barrier was never reached: drop the queued messages
+		// and report the failure before the processing phase starts.
+		return nil, err
+	}
 	if debugPhase != nil {
 		debugPhase("scatter-end", p.Now())
 	}
@@ -269,14 +295,14 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		debugPhase("process-end", p.Now())
 	}
 	if !output {
-		return nil
+		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(c.V)
 	for _, of := range outFronts {
 		merged.Merge(of)
 	}
 	merged.Seal()
-	return merged
+	return merged, nil
 }
 
 // debugMsgHist, when set by tests, receives the per-owner message counts

@@ -159,9 +159,10 @@ type ioBuffer struct {
 	numPages int
 }
 
-// EdgeMap implements algo.System.
+// EdgeMap implements algo.System. On an unrecoverable device error every
+// pair drains, all procs join, and the error is returned.
 func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
-	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
 	ctx := s.Ctx
 	cfg := s.Cfg
@@ -174,7 +175,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	all := frontier.PagesOf(f, c, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(2*cfg.Pairs))
 	if all.Pages() == 0 {
-		return frontier.NewVertexSubset(c.V)
+		if !output {
+			return nil, nil
+		}
+		return frontier.NewVertexSubset(c.V), nil
 	}
 	perPair := make([][]int64, cfg.Pairs)
 	for _, logical := range all.PerDev[0] {
@@ -188,9 +192,11 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		hotExtra = int64(g.HotFrac * float64(m.HotContention))
 	}
 
+	ab := &exec.Latch{}
 	wg := ctx.NewWaitGroup()
 	wg.Add(cfg.Pairs)
 	outFronts := make([]*frontier.VertexSubset, cfg.Pairs)
+	frees := make([]exec.Queue[*ioBuffer], cfg.Pairs)
 	for pr := 0; pr < cfg.Pairs; pr++ {
 		pair := pr
 		pages := perPair[pr]
@@ -198,12 +204,13 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		// Per-pair buffer queues: the strict 1 IO : 1 compute coupling.
 		free := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
 		filled := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
+		frees[pr] = free
 		for i := 0; i < cfg.BuffersPerPair; i++ {
 			free.Push(p, &ioBuffer{data: make([]byte, cfg.MaxIOPages*ssd.PageSize)})
 		}
 		ctx.Go(fmt.Sprintf("gr-io%d", pair), func(io exec.Proc) {
 			i := 0
-			for i < len(pages) {
+			for i < len(pages) && !ab.Failed() {
 				// Large IO: merge across gaps up to GapMergePages wide,
 				// capped at MaxIOPages, never across a partition boundary.
 				start := pages[i]
@@ -226,14 +233,19 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				}
 				n := int(end - start + 1)
 				buf, ok := free.Pop(io)
-				if !ok {
+				if !ok || ab.Failed() {
+					if ok {
+						free.Push(io, buf)
+					}
 					break
 				}
 				buf.start, buf.numPages = start, n
 				io.Advance(m.IOSubmit(n))
 				done, err := dev.ScheduleRead(io, start, n, buf.data[:n*ssd.PageSize])
 				if err != nil {
-					panic(err)
+					ab.Fail(fmt.Errorf("graphene: edgemap on %q: %w", g.Name, err))
+					free.Push(io, buf)
+					break
 				}
 				filled.PushAt(io, buf, done)
 				i = j
@@ -249,6 +261,11 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				buf, ok := filled.Pop(cp)
 				if !ok {
 					break
+				}
+				if ab.Failed() {
+					// Drain-and-recycle so a blocked IO proc wakes.
+					free.Push(cp, buf)
+					continue
 				}
 				for pg := 0; pg < buf.numPages; pg++ {
 					logical := buf.start + int64(pg)
@@ -273,15 +290,21 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		})
 	}
 	wg.Wait(p)
+	for _, free := range frees {
+		free.Close()
+	}
+	if err := ab.Err(); err != nil {
+		return nil, err
+	}
 	if !output {
-		return nil
+		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(c.V)
 	for _, of := range outFronts {
 		merged.Merge(of)
 	}
 	merged.Seal()
-	return merged
+	return merged, nil
 }
 
 // DeviceBytes exposes per-device totals (via Stats).

@@ -22,6 +22,7 @@ import (
 	"blaze/algo"
 	"blaze/internal/engine"
 	"blaze/internal/exec"
+	"blaze/internal/fault"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/ssd"
@@ -44,6 +45,45 @@ type Options struct {
 	InAdj          string
 	IndexPath      string
 	AdjPath        string
+
+	// Fault-injection knobs (testing/chaos runs; all default off).
+	FaultSeed           uint64
+	FaultTransientRate  float64
+	FaultTransientFails int
+	FaultPermanentRate  float64
+	FaultSpikeRate      float64
+	FaultSpikeNs        int64
+	RetryMax            int
+	RetryBackoffNs      int64
+}
+
+// FaultPolicy assembles the fault flags into a policy (zero = disabled).
+func (o *Options) FaultPolicy() fault.Policy {
+	return fault.Policy{
+		Seed:           o.FaultSeed,
+		TransientRate:  o.FaultTransientRate,
+		TransientFails: o.FaultTransientFails,
+		PermanentRate:  o.FaultPermanentRate,
+		SpikeRate:      o.FaultSpikeRate,
+		SpikeNs:        o.FaultSpikeNs,
+	}
+}
+
+// DeviceOptions returns the device-construction options implied by the
+// fault and retry flags.
+func (o *Options) DeviceOptions() []ssd.DeviceOptions {
+	opts := []ssd.DeviceOptions{o.FaultPolicy().DeviceOptions()}
+	if o.RetryMax >= 0 || o.RetryBackoffNs > 0 {
+		r := ssd.DefaultRetryPolicy()
+		if o.RetryMax >= 0 {
+			r.MaxRetries = o.RetryMax
+		}
+		if o.RetryBackoffNs > 0 {
+			r.BackoffNs = o.RetryBackoffNs
+		}
+		opts = append(opts, ssd.DeviceOptions{Retry: &r})
+	}
+	return opts
 }
 
 // ParseFlags parses the artifact-compatible flag set. needTranspose makes
@@ -64,6 +104,14 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "LRU page cache size in MB (0 = off, the paper's configuration)")
 	fs.StringVar(&o.InIndex, "inIndexFilename", "", "transpose graph index file")
 	fs.StringVar(&o.InAdj, "inAdjFilenames", "", "transpose graph adjacency file")
+	fs.Uint64Var(&o.FaultSeed, "faultSeed", 1, "fault-injection seed (deterministic per page)")
+	fs.Float64Var(&o.FaultTransientRate, "faultTransientRate", 0, "fraction of pages whose reads fail transiently (0 = off)")
+	fs.IntVar(&o.FaultTransientFails, "faultTransientFails", 1, "failed attempts before a transient-faulty page heals")
+	fs.Float64Var(&o.FaultPermanentRate, "faultPermanentRate", 0, "fraction of pages that are permanently unreadable (0 = off)")
+	fs.Float64Var(&o.FaultSpikeRate, "faultSpikeRate", 0, "fraction of requests with extra modeled latency (0 = off)")
+	fs.Int64Var(&o.FaultSpikeNs, "faultSpikeNs", 0, "extra latency per spiked request in ns")
+	fs.IntVar(&o.RetryMax, "retryMax", -1, "max transient-error retries per read (-1 = device default)")
+	fs.Int64Var(&o.RetryBackoffNs, "retryBackoffNs", 0, "initial retry backoff in ns, doubling per attempt (0 = device default)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <graph.gr.index> <graph.gr.adj.0>\n", tool)
 		fs.PrintDefaults()
@@ -121,13 +169,14 @@ func Setup(o *Options) (*Env, error) {
 		ctx = exec.NewReal()
 	}
 	stats := metrics.NewIOStats(o.Devices)
-	out, err := engine.FromFiles(ctx, o.IndexPath, o.IndexPath, o.AdjPath, o.Devices, prof, stats, nil)
+	devOpts := o.DeviceOptions()
+	out, err := engine.FromFiles(ctx, o.IndexPath, o.IndexPath, o.AdjPath, o.Devices, prof, stats, nil, devOpts...)
 	if err != nil {
 		return nil, err
 	}
 	env := &Env{Ctx: ctx, Stats: stats, Out: out, start: time.Now()}
 	if o.InIndex != "" {
-		in, err := engine.FromFiles(ctx, o.InIndex, o.InIndex, o.InAdj, o.Devices, prof, stats, nil)
+		in, err := engine.FromFiles(ctx, o.InIndex, o.InIndex, o.InAdj, o.Devices, prof, stats, nil, devOpts...)
 		if err != nil {
 			out.Close()
 			return nil, err
@@ -178,6 +227,9 @@ func (e *Env) Report(query string, extra string) {
 		query, e.Out.NumVertices(), e.Out.NumEdges(),
 		float64(elapsedNs)/1e9, clock,
 		float64(e.Stats.TotalBytes())/1e6, bw/1e9, e.Stats.Requests())
+	if r, er := e.Stats.Retries(), e.Stats.ReadErrors(); r > 0 || er > 0 {
+		fmt.Printf("device faults: %d retried reads, %d unrecoverable errors\n", r, er)
+	}
 	if extra != "" {
 		fmt.Println(extra)
 	}

@@ -171,7 +171,7 @@ func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
 // ownership) are merged, and each machine's updated vertices are broadcast
 // over its link before the call returns.
 func (cl *Cluster) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
-	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
 	parts := cl.partitionsFor(g)
 	M := cl.Cfg.Machines
@@ -180,16 +180,23 @@ func (cl *Cluster) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubse
 	cfg := cl.Cfg.Engine
 	cfg = cfg.WithThreads(cl.Cfg.ComputeWorkersPerMachine, 0.5)
 
+	// Machines fail independently; each machine's local engine drains its
+	// own pipeline, so every machine proc always joins. The first failure
+	// (by machine index) is the one reported.
 	outs := make([]*frontier.VertexSubset, M)
+	errs := make([]error, M)
 	wg := cl.Ctx.NewWaitGroup()
 	wg.Add(M)
 	for m := 0; m < M; m++ {
 		machine := m
 		cl.Ctx.Go(fmt.Sprintf("machine%d", machine), func(mp exec.Proc) {
-			out, _ := engine.EdgeMap(cl.Ctx, mp, parts[machine], f,
+			out, _, err := engine.EdgeMap(cl.Ctx, mp, parts[machine], f,
 				fns.Scatter, fns.Gather, fns.Cond, output, cfg)
+			if err != nil {
+				errs[machine] = fmt.Errorf("cluster: machine %d: %w", machine, err)
+			}
 			outs[machine] = out
-			if output && out != nil {
+			if output && out != nil && err == nil {
 				// Broadcast this machine's updated vertices to the other
 				// M-1 machines.
 				bytes := out.Count() * cl.Cfg.BytesPerVertexUpdate * int64(M-1)
@@ -202,15 +209,20 @@ func (cl *Cluster) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubse
 		})
 	}
 	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	if !output {
-		return nil
+		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(g.CSR.V)
 	for _, o := range outs {
 		merged.Merge(o)
 	}
 	merged.Seal()
-	return merged
+	return merged, nil
 }
 
 // VertexMap implements algo.System: vertex data is sharded by owner, so

@@ -27,7 +27,7 @@ func TestClusterBFSMatchesReference(t *testing.T) {
 		cl, g, _ := setup(ctx, machines, 41)
 		var parent []int64
 		ctx.Run("main", func(p exec.Proc) {
-			parent = algo.BFS(cl, p, g, 0)
+			parent = algo.Must(algo.BFS(cl, p, g, 0))
 		})
 		depth := algo.RefBFSDepth(g.CSR, 0)
 		if v, ok := algo.CheckParents(g.CSR, 0, parent, depth); !ok {
@@ -41,7 +41,7 @@ func TestClusterPageRankMatchesReference(t *testing.T) {
 	cl, g, _ := setup(ctx, 4, 42)
 	var rank []float64
 	ctx.Run("main", func(p exec.Proc) {
-		rank = algo.PageRank(cl, p, g, 0.01, 20)
+		rank = algo.Must(algo.PageRank(cl, p, g, 0.01, 20))
 	})
 	ref := algo.RefPageRankDelta(g.CSR, 0.01, 20)
 	for v := range rank {
@@ -61,8 +61,8 @@ func TestClusterWCCAndSpMV(t *testing.T) {
 		x[i] = float64(i % 7)
 	}
 	ctx.Run("main", func(p exec.Proc) {
-		ids = algo.WCC(cl, p, g, in)
-		y = algo.SpMV(cl, p, g, x)
+		ids = algo.Must(algo.WCC(cl, p, g, in))
+		y = algo.Must(algo.SpMV(cl, p, g, x))
 	})
 	if !algo.SamePartition(ids, algo.RefWCC(g.CSR)) {
 		t.Error("cluster WCC partition mismatch")
@@ -80,7 +80,7 @@ func TestClusterBCMatchesReference(t *testing.T) {
 	cl, g, in := setup(ctx, 2, 44)
 	var dep []float64
 	ctx.Run("main", func(p exec.Proc) {
-		dep = algo.BC(cl, p, g, in, 0)
+		dep = algo.Must(algo.BC(cl, p, g, in, 0))
 	})
 	ref := algo.RefBC(g.CSR, 0)
 	for v := range dep {

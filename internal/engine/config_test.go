@@ -17,20 +17,16 @@ func TestEdgeMapRejectsInvalidConfig(t *testing.T) {
 		g, c := testGraph(ctx, 1, nil)
 		conf := DefaultConfig(c.E)
 		mod(&conf)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("invalid config did not panic")
-				}
-			}()
-			ctx.Run("main", func(p exec.Proc) {
-				EdgeMap(ctx, p, g, frontier.All(c.V),
-					func(s, d uint32) int64 { return 0 },
-					func(d uint32, v int64) bool { return false },
-					func(d uint32) bool { return true },
-					false, conf)
-			})
-		}()
+		ctx.Run("main", func(p exec.Proc) {
+			_, _, err := EdgeMap(ctx, p, g, frontier.All(c.V),
+				func(s, d uint32) int64 { return 0 },
+				func(d uint32, v int64) bool { return false },
+				func(d uint32) bool { return true },
+				false, conf)
+			if err == nil {
+				t.Error("invalid config did not return an error")
+			}
+		})
 	}
 }
 

@@ -46,16 +46,23 @@ type Stats struct {
 //
 // When output is true the new frontier is returned; otherwise nil.
 // The value flow runs through online binning, so gather needs no atomics.
+//
+// EdgeMap fails cleanly: on the first unrecoverable device error (after
+// the device's retry policy is exhausted) the pipeline stops issuing IO,
+// drains every IO/scatter/gather proc, closes all queues, restocks the
+// pool, and returns a non-nil error with a nil frontier. Partial gather
+// updates may have been applied before the failure was detected; callers
+// must treat the whole call as failed.
 func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexSubset,
 	scatter func(s, d uint32) V,
 	gather func(d uint32, v V) bool,
 	cond func(d uint32) bool,
-	output bool, cfg Config) (*frontier.VertexSubset, Stats) {
+	output bool, cfg Config) (*frontier.VertexSubset, Stats, error) {
 
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
 	var st Stats
+	if err := cfg.validate(); err != nil {
+		return nil, st, err
+	}
 	m := cfg.Model
 	c := g.CSR
 	numDev := g.Arr.NumDevices()
@@ -84,7 +91,10 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	}
 	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
 	if ps.Pages() == 0 {
-		return frontier.NewVertexSubset(c.V), st
+		if !output {
+			return nil, st, nil
+		}
+		return frontier.NewVertexSubset(c.V), st, nil
 	}
 
 	// IO buffers and their two MPMC queues (steps 2-4, 7).
@@ -145,6 +155,12 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		cfg.Mem.Set("frontier", f.Bytes())
 	}
 
+	// Shared failure latch: the first unrecoverable device error flips it,
+	// and every proc degrades to drain-and-recycle at its next loop
+	// boundary. The coordinating proc returns the error after the pipeline
+	// has fully quiesced.
+	ab := &exec.Latch{}
+
 	// IO procs: one per device (step 2), merging up to MaxMergePages
 	// device-contiguous pages per request and never merging across gaps.
 	ioWG := ctx.NewWaitGroup()
@@ -161,11 +177,16 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			var batch [ioBatch]*ioBuffer
 			bn, bi := 0, 0
 			i := 0
-			for i < len(pages) {
+			for i < len(pages) && !ab.Failed() {
 				if bi == bn {
 					bn = free.PopBatch(io, batch[:])
 					bi = 0
 					if bn == 0 {
+						break
+					}
+					// The pop may have blocked while another proc failed;
+					// recheck before issuing more IO.
+					if ab.Failed() {
 						break
 					}
 				}
@@ -193,7 +214,12 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				io.Advance(m.IOSubmit(run))
 				done, err := device.ScheduleRead(io, pages[i], run, buf.data[:run*ssd.PageSize])
 				if err != nil {
-					panic(err)
+					// Unrecoverable read (retries exhausted or permanent):
+					// latch the failure, hand the buffer back, and stop
+					// this device's stream.
+					ab.Fail(fmt.Errorf("engine: edgemap on %q: %w", g.Name, err))
+					bi--
+					break
 				}
 				if cache.Enabled() {
 					io.Sync()
@@ -236,6 +262,11 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 					break
 				}
 				for _, buf := range batch[:n] {
+					if ab.Failed() {
+						// Drain-and-recycle: the data is from a failed run;
+						// keep returning buffers so blocked IO procs wake.
+						continue
+					}
 					for pg := 0; pg < buf.numPages; pg++ {
 						logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
 						pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
@@ -245,7 +276,9 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				}
 				free.PushN(sp, batch[:n])
 			}
-			stager.FlushAll(sp)
+			if !ab.Failed() {
+				stager.FlushAll(sp)
+			}
 			scatterWG.Done(sp)
 		})
 	}
@@ -273,10 +306,15 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 					break
 				}
 				for _, bb := range batch[:n] {
-					gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
-					for _, r := range bb.Records {
-						if gather(r.Dst, r.Val) && output {
-							out.Add(r.Dst)
+					// On failure the records are dropped unapplied, but the
+					// buffer still returns to its bin so scatter procs
+					// blocked in a flush wake and the drain completes.
+					if !ab.Failed() {
+						gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
+						for _, r := range bb.Records {
+							if gather(r.Dst, r.Val) && output {
+								out.Add(r.Dst)
+							}
 						}
 					}
 					bm.Return(gp, bb)
@@ -289,14 +327,20 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 
 	// Coordinate shutdown: scatters finish -> publish partial bins ->
 	// close the full stream -> gathers finish -> merge output frontiers.
+	// On failure the partial bins are dropped (their records come from an
+	// incomplete scan), but the drain order is unchanged so every proc
+	// joins and every buffer parks before the error is returned.
 	scatterWG.Wait(p)
-	bm.FlushPartials(p)
+	if !ab.Failed() {
+		bm.FlushPartials(p)
+	}
 	bm.CloseFull()
 	gatherWG.Wait(p)
 
 	// The pipeline has quiesced: every IO buffer is back in the free queue
 	// and every bin buffer is parked in its slot/empty queue. Stock the
-	// pool for the next round.
+	// pool for the next round, then close both buffer queues on every exit
+	// path — the io-closer already closed filled (Close is idempotent).
 	if pool != nil {
 		recovered := make([]*ioBuffer, 0, bufCount)
 		for {
@@ -307,17 +351,21 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			recovered = append(recovered, buf)
 		}
 		pool.putIOBuffers(bufLen, recovered)
-		free.Close()
 		putBinState(pool, &binState[V]{bufs: bm.Drain(p), stagers: stagers})
 	}
+	free.Close()
+	filled.Close()
 
 	for _, s := range scatStats {
 		st.PagesRead += s.PagesRead
 		st.EdgesScanned += s.EdgesScanned
 	}
 	st.Records = bm.Records()
+	if err := ab.Err(); err != nil {
+		return nil, st, err
+	}
 	if !output {
-		return nil, st
+		return nil, st, nil
 	}
 	merged := frontier.NewVertexSubset(c.V)
 	for _, of := range outFronts {
@@ -326,7 +374,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	merged.Seal()
 	p.Advance(m.VertexOp * merged.Count() / int64(computeProcs))
 	st.VerticesMoved = merged.Count()
-	return merged, st
+	return merged, st, nil
 }
 
 // scanPage applies the scatter step to one fetched page, binning a record

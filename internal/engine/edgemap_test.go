@@ -33,7 +33,7 @@ func runInDegree(t *testing.T, ctx exec.Context, numDev int, cfg func(Config) Co
 	got := make([]int64, c.V)
 	var st Stats
 	ctx.Run("main", func(p exec.Proc) {
-		_, st = EdgeMap(ctx, p, g, frontier.All(c.V),
+		_, st, _ = EdgeMap(ctx, p, g, frontier.All(c.V),
 			func(s, d uint32) int64 { return 1 },
 			func(d uint32, v int64) bool { got[d] += v; return false },
 			func(d uint32) bool { return true },
@@ -102,7 +102,7 @@ func TestEdgeMapSparseFrontier(t *testing.T) {
 	visited := make([]bool, c.V)
 	var out *frontier.VertexSubset
 	ctx.Run("main", func(p exec.Proc) {
-		out, _ = EdgeMap(ctx, p, g, f,
+		out, _, _ = EdgeMap(ctx, p, g, f,
 			func(s, d uint32) int64 { return int64(s) },
 			func(d uint32, v int64) bool {
 				if !visited[d] {
@@ -141,7 +141,7 @@ func TestEdgeMapEmptyFrontier(t *testing.T) {
 	g, c := testGraph(ctx, 1, nil)
 	conf := DefaultConfig(c.E)
 	ctx.Run("main", func(p exec.Proc) {
-		out, st := EdgeMap(ctx, p, g, frontier.NewVertexSubset(c.V),
+		out, st, _ := EdgeMap(ctx, p, g, frontier.NewVertexSubset(c.V),
 			func(s, d uint32) int64 { return 0 },
 			func(d uint32, v int64) bool { return false },
 			func(d uint32) bool { return true },

@@ -51,20 +51,21 @@ func (g *Graph) Close() error {
 }
 
 // FromCSR wraps an in-memory CSR (adjacency required) as a device-backed
-// graph striped over numDev devices with the given profile.
+// graph striped over numDev devices with the given profile. Device options
+// (fault injection, retry policy) are applied to every device.
 func FromCSR(ctx exec.Context, name string, c *graph.CSR, numDev int, prof ssd.Profile,
-	stats *metrics.IOStats, tl *metrics.Timeline) *Graph {
+	stats *metrics.IOStats, tl *metrics.Timeline, opts ...ssd.DeviceOptions) *Graph {
 	if c.Adj == nil {
 		panic("engine: FromCSR requires in-memory adjacency")
 	}
-	arr := ssd.NewMemArray(ctx, numDev, prof, c.Adj, stats, tl)
+	arr := ssd.NewMemArray(ctx, numDev, prof, c.Adj, stats, tl, opts...)
 	return &Graph{Name: name, CSR: c, Arr: arr}
 }
 
 // FromFiles loads <indexPath> and exposes <adjPath> through numDev striped
 // devices. The CSR is index-only; the adjacency stays on disk.
 func FromFiles(ctx exec.Context, name, indexPath, adjPath string, numDev int, prof ssd.Profile,
-	stats *metrics.IOStats, tl *metrics.Timeline) (*Graph, error) {
+	stats *metrics.IOStats, tl *metrics.Timeline, opts ...ssd.DeviceOptions) (*Graph, error) {
 	c, err := graph.ReadIndex(indexPath)
 	if err != nil {
 		return nil, err
@@ -73,10 +74,11 @@ func FromFiles(ctx exec.Context, name, indexPath, adjPath string, numDev int, pr
 	if err != nil {
 		return nil, err
 	}
+	o := ssd.MergeDeviceOptions(opts)
 	devs := make([]*ssd.Device, numDev)
 	for i := 0; i < numDev; i++ {
 		var b ssd.Backing = &ssd.StripeView{Src: f, SrcSize: size, Dev: i, NumDev: numDev}
-		devs[i] = ssd.NewDevice(ctx, i, prof, b, stats, tl)
+		devs[i] = o.Build(ctx, i, prof, b, stats, tl)
 	}
 	arr := ssd.NewArray(devs, c.NumPages())
 	return &Graph{Name: name, CSR: c, Arr: arr, file: f}, nil
@@ -85,13 +87,13 @@ func FromFiles(ctx exec.Context, name, indexPath, adjPath string, numDev int, pr
 // BuildPreset generates a preset dataset in memory and wraps forward and
 // transpose graphs, annotating locality and hot-edge fraction.
 func BuildPreset(ctx exec.Context, p gen.Preset, numDev int, prof ssd.Profile,
-	stats *metrics.IOStats, tl *metrics.Timeline) (out, in *Graph) {
+	stats *metrics.IOStats, tl *metrics.Timeline, opts ...ssd.DeviceOptions) (out, in *Graph) {
 	src, dst := p.Generate()
 	c := graph.Build(p.V, src, dst)
 	tr := c.Transpose()
 	hot := graph.HotEdgeFraction(tr.Degrees, 0.001)
-	out = FromCSR(ctx, p.Name, c, numDev, prof, stats, tl)
-	in = FromCSR(ctx, p.Name+".t", tr, numDev, prof, stats, tl)
+	out = FromCSR(ctx, p.Name, c, numDev, prof, stats, tl, opts...)
+	in = FromCSR(ctx, p.Name+".t", tr, numDev, prof, stats, tl, opts...)
 	out.Locality, in.Locality = p.Locality, p.Locality
 	out.HotFrac, in.HotFrac = hot, hot
 	return out, in

@@ -30,7 +30,7 @@ func TestEdgeMapPooledRounds(t *testing.T) {
 		got := make([]int64, c.V)
 		var st Stats
 		ctx.Run("main", func(p exec.Proc) {
-			_, st = EdgeMap(ctx, p, g, frontier.All(c.V),
+			_, st, _ = EdgeMap(ctx, p, g, frontier.All(c.V),
 				func(s, d uint32) int64 { return 1 },
 				func(d uint32, v int64) bool { got[d] += v; return false },
 				func(d uint32) bool { return true },

@@ -1,0 +1,38 @@
+package exec
+
+import "sync"
+
+// Latch is a first-error failure latch for proc pipelines. The first Fail
+// wins; every pipeline proc polls Failed at its loop boundary and degrades
+// to drain-and-recycle so the pipeline quiesces without deadlock under
+// both backends. Under the virtual-time backend procs run one at a time,
+// so the mutex is uncontended and the observed ordering is deterministic;
+// polling costs no model time, so fault-free runs are unaffected.
+type Latch struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Fail records the first error; later errors are dropped.
+func (l *Latch) Fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// Failed reports whether an error has been recorded.
+func (l *Latch) Failed() bool {
+	l.mu.Lock()
+	f := l.err != nil
+	l.mu.Unlock()
+	return f
+}
+
+// Err returns the recorded error, if any.
+func (l *Latch) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"blaze/internal/ssd"
+)
+
+// okBacking serves zero pages and counts how many reads reached it.
+type okBacking struct{ reads int }
+
+func (b *okBacking) ReadLocalPage(local int64, buf []byte) error { b.reads++; return nil }
+func (b *okBacking) LocalPages() int64                           { return 1 << 20 }
+
+func readPage(t *testing.T, in *Injector, local int64) error {
+	t.Helper()
+	buf := make([]byte, ssd.PageSize)
+	return in.ReadLocalPage(local, buf)
+}
+
+// TestDeterministicDecisions: two injectors with equal (policy, dev) fault
+// exactly the same pages; a different seed faults a different set.
+func TestDeterministicDecisions(t *testing.T) {
+	const pages = 4096
+	p := Policy{Seed: 42, PermanentRate: 0.1}
+	a := New(p, 0, &okBacking{})
+	b := New(p, 0, &okBacking{})
+	other := New(Policy{Seed: 43, PermanentRate: 0.1}, 0, &okBacking{})
+	sameAB, diffSeed := true, 0
+	for pg := int64(0); pg < pages; pg++ {
+		ea := readPage(t, a, pg) != nil
+		eb := readPage(t, b, pg) != nil
+		eo := readPage(t, other, pg) != nil
+		if ea != eb {
+			sameAB = false
+		}
+		if ea != eo {
+			diffSeed++
+		}
+	}
+	if !sameAB {
+		t.Error("equal seeds produced different fault patterns")
+	}
+	if diffSeed == 0 {
+		t.Error("changing the seed did not change the fault pattern")
+	}
+}
+
+// TestPermanentRate: the realized permanent-fault fraction tracks the
+// configured rate, and a faulted page fails on every attempt.
+func TestPermanentRate(t *testing.T) {
+	const pages = 20000
+	in := New(Policy{Seed: 7, PermanentRate: 0.1}, 0, &okBacking{})
+	var faulted int64 = -1
+	failures := 0
+	for pg := int64(0); pg < pages; pg++ {
+		if readPage(t, in, pg) != nil {
+			failures++
+			faulted = pg
+		}
+	}
+	frac := float64(failures) / pages
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("permanent fault fraction = %.3f, want ~0.1", frac)
+	}
+	if faulted < 0 {
+		t.Fatal("no page faulted at rate 0.1")
+	}
+	for i := 0; i < 5; i++ {
+		err := readPage(t, in, faulted)
+		if err == nil {
+			t.Fatal("permanently faulted page recovered")
+		}
+		if ssd.IsTransient(err) {
+			t.Fatal("permanent fault reported as transient")
+		}
+	}
+}
+
+// TestTransientHealing: a transient-faulty page fails TransientFails
+// attempts, heals for one read, then faults afresh — so iterative
+// algorithms keep exercising the retry path.
+func TestTransientHealing(t *testing.T) {
+	inner := &okBacking{}
+	in := New(Policy{Seed: 1, TransientRate: 1, TransientFails: 2}, 3, inner)
+	const pg = 5
+	for attempt := 0; attempt < 2; attempt++ {
+		err := readPage(t, in, pg)
+		if err == nil {
+			t.Fatalf("attempt %d: expected transient failure", attempt)
+		}
+		if !ssd.IsTransient(err) {
+			t.Fatalf("attempt %d: error not marked transient: %v", attempt, err)
+		}
+	}
+	if err := readPage(t, in, pg); err != nil {
+		t.Fatalf("read after TransientFails attempts should heal, got %v", err)
+	}
+	if inner.reads != 1 {
+		t.Errorf("inner backing saw %d reads, want 1 (only the healed read)", inner.reads)
+	}
+	// The page faults afresh on the next round.
+	if err := readPage(t, in, pg); err == nil {
+		t.Error("healed page did not fault afresh")
+	}
+}
+
+// TestSpikeLatency: spike decisions are per-request, deterministic, and
+// bounded to {0, SpikeNs}.
+func TestSpikeLatency(t *testing.T) {
+	in := New(Policy{Seed: 9, SpikeRate: 0.5, SpikeNs: 1e6}, 0, &okBacking{})
+	seen := map[int64]bool{}
+	for pg := int64(0); pg < 1000; pg++ {
+		ns := in.ExtraLatencyNs(pg, 1)
+		if ns != 0 && ns != 1e6 {
+			t.Fatalf("spike latency = %d, want 0 or 1e6", ns)
+		}
+		seen[ns] = true
+		if ns != in.ExtraLatencyNs(pg, 1) {
+			t.Fatal("spike decision not deterministic")
+		}
+	}
+	if !seen[0] || !seen[1e6] {
+		t.Errorf("spike rate 0.5 produced only %v", seen)
+	}
+	quiet := New(Policy{Seed: 9}, 0, &okBacking{})
+	if quiet.ExtraLatencyNs(3, 1) != 0 {
+		t.Error("disabled policy injected latency")
+	}
+}
+
+// TestDisabledPolicy: the zero policy is inert and yields no-op device
+// options, so fault-free runs take the unwrapped fast path.
+func TestDisabledPolicy(t *testing.T) {
+	var p Policy
+	if p.Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if o := p.DeviceOptions(); o.WrapBacking != nil {
+		t.Error("zero policy produced a backing wrapper")
+	}
+	if o := (Policy{Seed: 5, TransientRate: 0.1}).DeviceOptions(); o.WrapBacking == nil {
+		t.Error("enabled policy produced no backing wrapper")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	te := &Error{Dev: 2, Local: 17, Kind: Transient}
+	pe := &Error{Dev: 1, Local: 3, Kind: Permanent}
+	if !strings.Contains(te.Error(), "transient") || !te.Transient() {
+		t.Errorf("transient error misreported: %v", te)
+	}
+	if !strings.Contains(pe.Error(), "permanent") || pe.Transient() {
+		t.Errorf("permanent error misreported: %v", pe)
+	}
+	if !ssd.IsTransient(te) || ssd.IsTransient(pe) {
+		t.Error("ssd.IsTransient disagrees with Kind")
+	}
+}

@@ -64,7 +64,7 @@ func MemBytes(g *engine.Graph) int64 {
 // workers; each worker walks its chunk's edges straight out of DRAM and
 // applies gather inline with CAS-priced updates.
 func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
-	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
 	c := g.CSR
 	if c.Adj == nil {
@@ -74,7 +74,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	active := make([]uint32, 0, f.Count())
 	f.ForEach(func(v uint32) { active = append(active, v) })
 	if len(active) == 0 {
-		return frontier.NewVertexSubset(c.V)
+		if !output {
+			return nil, nil
+		}
+		return frontier.NewVertexSubset(c.V), nil
 	}
 
 	m := s.Cfg.Model
@@ -141,14 +144,14 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	}
 	wg.Wait(p)
 	if !output {
-		return nil
+		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(c.V)
 	for _, o := range outs {
 		merged.Merge(o)
 	}
 	merged.Seal()
-	return merged
+	return merged, nil
 }
 
 // VertexMap implements algo.System.

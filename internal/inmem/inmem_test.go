@@ -31,11 +31,11 @@ func TestInMemAllQueries(t *testing.T) {
 		x[i] = float64(i % 5)
 	}
 	ctx.Run("main", func(p exec.Proc) {
-		parent = algo.BFS(sys, p, g, 0)
-		rank = algo.PageRank(sys, p, g, 0.01, 20)
-		ids = algo.WCC(sys, p, g, in)
-		y = algo.SpMV(sys, p, g, x)
-		dep = algo.BC(sys, p, g, in, 0)
+		parent = algo.Must(algo.BFS(sys, p, g, 0))
+		rank = algo.Must(algo.PageRank(sys, p, g, 0.01, 20))
+		ids = algo.Must(algo.WCC(sys, p, g, in))
+		y = algo.Must(algo.SpMV(sys, p, g, x))
+		dep = algo.Must(algo.BC(sys, p, g, in, 0))
 	})
 	if _, ok := algo.CheckParents(g.CSR, 0, parent, algo.RefBFSDepth(g.CSR, 0)); !ok {
 		t.Error("in-core BFS invalid")

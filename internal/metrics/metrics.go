@@ -145,7 +145,9 @@ type devCounters struct {
 	epoch    atomic.Int64
 	requests atomic.Int64
 	pages    atomic.Int64
-	_        [32]byte // 4x8-byte counters + 32 pad = 64 bytes
+	retries  atomic.Int64
+	errors   atomic.Int64
+	_        [16]byte // 6x8-byte counters + 16 pad = 64 bytes
 }
 
 // IOStats aggregates per-device read counters for one execution, with an
@@ -168,6 +170,38 @@ func (s *IOStats) AddRead(dev int, bytes int64, pages int) {
 	d.epoch.Add(bytes)
 	d.requests.Add(1)
 	d.pages.Add(int64(pages))
+}
+
+// AddRetry records one retried read attempt on device dev (a transient
+// device error that the retry policy absorbed).
+func (s *IOStats) AddRetry(dev int) {
+	s.dev[dev].retries.Add(1)
+}
+
+// AddReadError records one unrecoverable read failure on device dev (a
+// permanent fault, or a transient one that exhausted its retry budget).
+func (s *IOStats) AddReadError(dev int) {
+	s.dev[dev].errors.Add(1)
+}
+
+// Retries returns the number of read attempts that were retried after a
+// transient device error.
+func (s *IOStats) Retries() int64 {
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].retries.Load()
+	}
+	return t
+}
+
+// ReadErrors returns the number of unrecoverable read failures surfaced to
+// the engine.
+func (s *IOStats) ReadErrors() int64 {
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].errors.Load()
+	}
+	return t
 }
 
 // TotalBytes returns the sum over all devices.

@@ -19,8 +19,10 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"blaze/internal/exec"
 	"blaze/internal/metrics"
@@ -28,6 +30,45 @@ import (
 
 // PageSize is the device page size used throughout Blaze (4 kB).
 const PageSize = 4096
+
+// IsTransient reports whether err is marked transient — i.e. whether some
+// error in its chain implements `Transient() bool` returning true (injected
+// faults from internal/fault do). Transient read errors are retried by the
+// device's RetryPolicy; everything else is surfaced immediately.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// LatencyInjector is implemented by backings (e.g. fault injectors) that
+// add modeled latency to the reads they serve — a slow-device spike. The
+// extra time is charged to the device alongside the transfer cost, so it is
+// deterministic under virtual time and paced under wall time.
+type LatencyInjector interface {
+	// ExtraLatencyNs returns additional model-time nanoseconds for a read
+	// of n pages starting at local page start.
+	ExtraLatencyNs(start int64, n int) int64
+}
+
+// RetryPolicy bounds how a Device retries transient read errors. The
+// backoff between attempts is charged as device busy time in model
+// nanoseconds — deterministic under the virtual-time backend and paced
+// under the real one — and doubles per retry. With no faults injected the
+// retry path never executes, so figures are unchanged.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failed read;
+	// a transient error that persists past the budget becomes permanent.
+	MaxRetries int
+	// BackoffNs is the device busy time charged before the first retry;
+	// each subsequent retry doubles it.
+	BackoffNs int64
+}
+
+// DefaultRetryPolicy mirrors common NVMe-driver behaviour: a few quick
+// retries with exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, BackoffNs: 100_000}
+}
 
 // Profile describes one storage device's read bandwidth envelope.
 type Profile struct {
@@ -76,9 +117,13 @@ type Device struct {
 	prof    Profile
 	res     exec.Resource
 	backing Backing
+	lat     LatencyInjector // non-nil when the backing injects latency
+	retry   RetryPolicy
 	stats   *metrics.IOStats
 	tl      *metrics.TimelineShard // this device's contention-free shard
-	lastEnd int64                  // local page just past the previous request, for seq detection
+
+	mu      sync.Mutex // guards lastEnd: devices are shared across procs
+	lastEnd int64      // local page just past the previous request, for seq detection
 }
 
 // NewDevice returns a device backed by b under ctx's clock. stats and tl
@@ -89,8 +134,12 @@ func NewDevice(ctx exec.Context, id int, prof Profile, b Backing, stats *metrics
 		prof:    prof,
 		res:     ctx.NewResource(fmt.Sprintf("ssd%d", id)),
 		backing: b,
+		retry:   DefaultRetryPolicy(),
 		stats:   stats,
 		lastEnd: -1,
+	}
+	if li, ok := b.(LatencyInjector); ok {
+		d.lat = li
 	}
 	if tl != nil {
 		d.tl = tl.Shard(id)
@@ -101,11 +150,19 @@ func NewDevice(ctx exec.Context, id int, prof Profile, b Backing, stats *metrics
 // Profile returns the device's bandwidth profile.
 func (d *Device) Profile() Profile { return d.prof }
 
+// SetRetryPolicy overrides the device's transient-error retry policy.
+func (d *Device) SetRetryPolicy(rp RetryPolicy) { d.retry = rp }
+
 // transferNs returns the modeled duration of reading n pages starting at
-// local page start, and updates sequential-detection state.
+// local page start, and updates sequential-detection state. The state
+// update runs under the device lock: devices are shared by every proc that
+// touches the same stripe, and an unsynchronized read-modify-write of
+// lastEnd is a data race under the real backend.
 func (d *Device) transferNs(start int64, n int) int64 {
+	d.mu.Lock()
 	seqStart := start == d.lastEnd
 	d.lastEnd = start + int64(n)
+	d.mu.Unlock()
 	var ns float64
 	if seqStart {
 		ns = float64(n) * PageSize * 1e9 / d.prof.SeqBytesPerSec
@@ -115,7 +172,11 @@ func (d *Device) transferNs(start int64, n int) int64 {
 			ns += float64(n-1) * PageSize * 1e9 / d.prof.SeqBytesPerSec
 		}
 	}
-	return int64(ns)
+	t := int64(ns)
+	if d.lat != nil {
+		t += d.lat.ExtraLatencyNs(start, n)
+	}
+	return t
 }
 
 // copyPages moves the data; it is identical under both clocks.
@@ -139,10 +200,38 @@ func (d *Device) account(at int64, n int) {
 	}
 }
 
+// copyPagesRetry is copyPages under the device's retry policy: transient
+// errors are retried with exponential backoff charged as device busy time,
+// so the stall is visible under both clocks; permanent errors (and
+// transient ones that exhaust the budget) are recorded in stats and
+// surfaced to the caller.
+func (d *Device) copyPagesRetry(p exec.Proc, start int64, n int, buf []byte) error {
+	backoff := d.retry.BackoffNs
+	for attempt := 0; ; attempt++ {
+		err := d.copyPages(start, n, buf)
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= d.retry.MaxRetries {
+			if d.stats != nil {
+				d.stats.AddReadError(d.ID)
+			}
+			return err
+		}
+		if d.stats != nil {
+			d.stats.AddRetry(d.ID)
+		}
+		d.res.Acquire(p, backoff)
+		backoff *= 2
+	}
+}
+
 // ReadPages synchronously reads n contiguous local pages starting at start
-// into buf, blocking p until the modeled completion.
+// into buf, blocking p until the modeled completion. Transient backing
+// errors are retried per the device's RetryPolicy before an error is
+// returned.
 func (d *Device) ReadPages(p exec.Proc, start int64, n int, buf []byte) error {
-	if err := d.copyPages(start, n, buf); err != nil {
+	if err := d.copyPagesRetry(p, start, n, buf); err != nil {
 		return err
 	}
 	done := d.res.Acquire(p, d.transferNs(start, n))
@@ -153,9 +242,11 @@ func (d *Device) ReadPages(p exec.Proc, start int64, n int, buf []byte) error {
 // ScheduleRead asynchronously reads n contiguous local pages starting at
 // start into buf and returns the modeled completion time without blocking
 // p (AIO semantics). The caller must not consume buf before the returned
-// instant; hand it to Queue.PushAt.
+// instant; hand it to Queue.PushAt. Transient backing errors are retried
+// per the device's RetryPolicy (the retry backoff blocks p, as a resubmit
+// would) before an error is returned.
 func (d *Device) ScheduleRead(p exec.Proc, start int64, n int, buf []byte) (int64, error) {
-	if err := d.copyPages(start, n, buf); err != nil {
+	if err := d.copyPagesRetry(p, start, n, buf); err != nil {
 		return 0, err
 	}
 	done := d.res.Schedule(p, d.transferNs(start, n))
@@ -276,9 +367,49 @@ func (v *StripeView) LocalPages() int64 {
 	return n
 }
 
+// DeviceOptions adjusts device construction in NewMemArray and the
+// engine's graph constructors. The zero value is the default behaviour.
+type DeviceOptions struct {
+	// WrapBacking, when non-nil, wraps every device's backing before the
+	// device is built — the fault-injection hook (see internal/fault).
+	WrapBacking func(dev int, b Backing) Backing
+	// Retry overrides the default transient-error retry policy.
+	Retry *RetryPolicy
+}
+
+// MergeDeviceOptions folds a variadic option slice into one value; later
+// entries override earlier ones field-by-field.
+func MergeDeviceOptions(opts []DeviceOptions) DeviceOptions {
+	var o DeviceOptions
+	for _, x := range opts {
+		if x.WrapBacking != nil {
+			o.WrapBacking = x.WrapBacking
+		}
+		if x.Retry != nil {
+			o.Retry = x.Retry
+		}
+	}
+	return o
+}
+
+/// Build constructs one device honoring o: the backing is wrapped first (so
+// injected latency and faults are visible to the device) and the retry
+// policy applied.
+func (o DeviceOptions) Build(ctx exec.Context, id int, prof Profile, b Backing, stats *metrics.IOStats, tl *metrics.Timeline) *Device {
+	if o.WrapBacking != nil {
+		b = o.WrapBacking(id, b)
+	}
+	d := NewDevice(ctx, id, prof, b, stats, tl)
+	if o.Retry != nil {
+		d.retry = *o.Retry
+	}
+	return d
+}
+
 // NewMemArray builds an array of n devices with profile prof striped over
 // data, wiring stats and timeline (either may be nil) into every device.
-func NewMemArray(ctx exec.Context, n int, prof Profile, data []byte, stats *metrics.IOStats, tl *metrics.Timeline) *Array {
+func NewMemArray(ctx exec.Context, n int, prof Profile, data []byte, stats *metrics.IOStats, tl *metrics.Timeline, opts ...DeviceOptions) *Array {
+	o := MergeDeviceOptions(opts)
 	devs := make([]*Device, n)
 	for i := 0; i < n; i++ {
 		var b Backing
@@ -287,7 +418,7 @@ func NewMemArray(ctx exec.Context, n int, prof Profile, data []byte, stats *metr
 		} else {
 			b = &StripeView{Src: readerAt(data), SrcSize: int64(len(data)), Dev: i, NumDev: n}
 		}
-		devs[i] = NewDevice(ctx, i, prof, b, stats, tl)
+		devs[i] = o.Build(ctx, i, prof, b, stats, tl)
 	}
 	pages := (int64(len(data)) + PageSize - 1) / PageSize
 	return NewArray(devs, pages)

@@ -51,9 +51,11 @@ type ioBuffer struct {
 }
 
 // EdgeMap implements algo.System: the same page pipeline as Blaze, with
-// inline atomic gathers on the computation procs instead of bins.
+// inline atomic gathers on the computation procs instead of bins. It fails
+// cleanly like the binning engine: on the first unrecoverable device error
+// the pipeline drains, every proc joins, and the error is returned.
 func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
-	fns algo.EdgeFuncs, output bool) *frontier.VertexSubset {
+	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
 	ctx := s.Ctx
 	cfg := s.Cfg
@@ -66,7 +68,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	ps := frontier.PagesOf(f, c, numDev)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
 	if ps.Pages() == 0 {
-		return frontier.NewVertexSubset(c.V)
+		if !output {
+			return nil, nil
+		}
+		return frontier.NewVertexSubset(c.V), nil
 	}
 
 	bufPages := cfg.MaxMergePages
@@ -83,6 +88,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		free.Push(p, &ioBuffer{data: make([]byte, bufPages*ssd.PageSize)})
 	}
 
+	ab := &exec.Latch{}
 	ioWG := ctx.NewWaitGroup()
 	ioWG.Add(numDev)
 	for d := 0; d < numDev; d++ {
@@ -91,20 +97,25 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		ctx.Go(fmt.Sprintf("sync-io%d", dev), func(io exec.Proc) {
 			device := g.Arr.Device(dev)
 			i := 0
-			for i < len(pages) {
+			for i < len(pages) && !ab.Failed() {
 				run := 1
 				for run < cfg.MaxMergePages && i+run < len(pages) && pages[i+run] == pages[i]+int64(run) {
 					run++
 				}
 				buf, ok := free.Pop(io)
-				if !ok {
+				if !ok || ab.Failed() {
+					if ok {
+						free.Push(io, buf)
+					}
 					break
 				}
 				buf.dev, buf.localStart, buf.numPages = dev, pages[i], run
 				io.Advance(m.IOSubmit(run))
 				done, err := device.ScheduleRead(io, pages[i], run, buf.data[:run*ssd.PageSize])
 				if err != nil {
-					panic(err)
+					ab.Fail(fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err))
+					free.Push(io, buf)
+					break
 				}
 				filled.PushAt(io, buf, done)
 				i += run
@@ -140,6 +151,11 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				if !ok {
 					break
 				}
+				if ab.Failed() {
+					// Drain-and-recycle so blocked IO procs wake.
+					free.Push(wp, buf)
+					continue
+				}
 				for pg := 0; pg < buf.numPages; pg++ {
 					logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
 					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
@@ -170,13 +186,18 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		})
 	}
 	wg.Wait(p)
+	free.Close()
+	filled.Close()
+	if err := ab.Err(); err != nil {
+		return nil, err
+	}
 	if !output {
-		return nil
+		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(c.V)
 	for _, of := range outFronts {
 		merged.Merge(of)
 	}
 	merged.Seal()
-	return merged
+	return merged, nil
 }
