@@ -1,0 +1,173 @@
+// Cross-engine conformance: every engine in the registry must compute the
+// same answers for the same queries on the same graphs, and fail cleanly
+// under injected device faults. The suite lives in an external test
+// package because the registry imports algo.
+package algo_test
+
+import (
+	"math"
+	"testing"
+
+	"blaze/algo"
+	"blaze/gen"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/fault"
+	"blaze/internal/graph"
+	"blaze/internal/registry"
+	"blaze/internal/ssd"
+)
+
+// conformanceEngines are the registry entries under test; the "sync"
+// alias is omitted because it is the same builder as blaze-sync.
+var conformanceEngines = []string{"blaze", "blaze-sync", "flashgraph", "graphene", "inmem"}
+
+// randomCSR mirrors the in-package property tests' graph construction,
+// with an explicit 0→1 edge so source 0 always has work to do.
+func randomCSR(seed uint64, nEdges int) *graph.CSR {
+	n := uint32(64 + seed%512)
+	r := gen.NewRNG(seed)
+	src := make([]uint32, nEdges)
+	dst := make([]uint32, nEdges)
+	src[0], dst[0] = 0, 1
+	for i := 1; i < nEdges; i++ {
+		src[i] = uint32(r.Intn(int(n)))
+		dst[i] = uint32(r.Intn(int(n)))
+	}
+	return graph.Build(n, src, dst)
+}
+
+// sysOn builds the named engine over its own fresh virtual-time context
+// and graph pair, so engines cannot observe each other's state.
+func sysOn(t *testing.T, name string, c *graph.CSR, devOpts ...ssd.DeviceOptions) (exec.Context, algo.System, *engine.Graph, *engine.Graph) {
+	t.Helper()
+	ctx := exec.NewSim()
+	out := engine.FromCSR(ctx, "conf", c, 1, ssd.OptaneSSD, nil, nil, devOpts...)
+	in := engine.FromCSR(ctx, "conf.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil, devOpts...)
+	sys, err := registry.New(name, ctx, registry.Options{
+		Edges:   c.E,
+		Workers: 4,
+		NumDev:  1,
+		Profile: ssd.OptaneSSD,
+		DevOpts: devOpts,
+	})
+	if err != nil {
+		t.Fatalf("registry.New(%q): %v", name, err)
+	}
+	return ctx, sys, out, in
+}
+
+// TestConformanceBFS: every engine's parent array is a valid BFS forest
+// with the reference depths — i.e. all engines reach the same vertices at
+// the same levels (parent choice may legitimately differ by gather order).
+func TestConformanceBFS(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 202} {
+		c := randomCSR(seed, 800)
+		ref := algo.RefBFSDepth(c, 0)
+		for _, name := range conformanceEngines {
+			ctx, sys, g, _ := sysOn(t, name, c)
+			var parent []int64
+			ctx.Run("main", func(p exec.Proc) {
+				parent = algo.Must(algo.BFS(sys, p, g, 0))
+			})
+			if _, ok := algo.CheckParents(c, 0, parent, ref); !ok {
+				t.Errorf("seed %d: %s: invalid BFS forest", seed, name)
+			}
+		}
+	}
+}
+
+// TestConformanceWCC: every engine matches the union-find partition.
+func TestConformanceWCC(t *testing.T) {
+	for _, seed := range []uint64{3, 91} {
+		c := randomCSR(seed, 500)
+		ref := algo.RefWCC(c)
+		for _, name := range conformanceEngines {
+			ctx, sys, g, in := sysOn(t, name, c)
+			var ids []uint32
+			ctx.Run("main", func(p exec.Proc) {
+				ids = algo.Must(algo.WCC(sys, p, g, in))
+			})
+			if !algo.SamePartition(ids, ref) {
+				t.Errorf("seed %d: %s: WCC partition differs from union-find", seed, name)
+			}
+		}
+	}
+}
+
+// TestConformanceSpMV: the product is a fixed sum per vertex, so engines
+// must agree to floating-point reassociation tolerance.
+func TestConformanceSpMV(t *testing.T) {
+	c := randomCSR(7, 2000)
+	x := make([]float64, c.V)
+	r := gen.NewRNG(11)
+	for i := range x {
+		x[i] = float64(r.Intn(100))
+	}
+	results := map[string][]float64{}
+	for _, name := range conformanceEngines {
+		ctx, sys, g, _ := sysOn(t, name, c)
+		var y []float64
+		ctx.Run("main", func(p exec.Proc) {
+			y = algo.Must(algo.SpMV(sys, p, g, x))
+		})
+		results[name] = y
+	}
+	base := results["blaze"]
+	for _, name := range conformanceEngines[1:] {
+		y := results[name]
+		for v := range base {
+			if math.Abs(y[v]-base[v]) > 1e-6*math.Max(1, math.Abs(base[v])) {
+				t.Fatalf("%s: y[%d] = %g, blaze has %g", name, v, y[v], base[v])
+			}
+		}
+	}
+}
+
+// TestConformancePageRank: identical rank vectors across engines up to
+// floating-point reassociation.
+func TestConformancePageRank(t *testing.T) {
+	c := randomCSR(29, 3000)
+	results := map[string][]float64{}
+	for _, name := range conformanceEngines {
+		ctx, sys, g, _ := sysOn(t, name, c)
+		var rank []float64
+		ctx.Run("main", func(p exec.Proc) {
+			rank = algo.Must(algo.PageRank(sys, p, g, 1e-6, 20))
+		})
+		results[name] = rank
+	}
+	base := results["blaze"]
+	for _, name := range conformanceEngines[1:] {
+		rank := results[name]
+		for v := range base {
+			if math.Abs(rank[v]-base[v]) > 1e-6*math.Max(1, math.Abs(base[v])) {
+				t.Fatalf("%s: rank[%d] = %g, blaze has %g", name, v, rank[v], base[v])
+			}
+		}
+	}
+}
+
+// TestConformanceFaults: with every page permanently unreadable, each
+// out-of-core engine must return the device error through the query (no
+// panic, no hang); the in-core engine performs no IO and must succeed.
+func TestConformanceFaults(t *testing.T) {
+	c := randomCSR(5, 600)
+	opts := fault.Policy{Seed: 9, PermanentRate: 1}.DeviceOptions()
+	for _, name := range conformanceEngines {
+		ctx, sys, g, _ := sysOn(t, name, c, opts)
+		var err error
+		ctx.Run("main", func(p exec.Proc) {
+			_, err = algo.BFS(sys, p, g, 0)
+		})
+		if name == "inmem" {
+			if err != nil {
+				t.Errorf("inmem: unexpected error under device faults: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: BFS succeeded with every page permanently faulted", name)
+		}
+	}
+}

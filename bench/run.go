@@ -4,14 +4,11 @@ import (
 	"fmt"
 
 	"blaze/algo"
-	"blaze/internal/baseline/flashgraph"
-	"blaze/internal/baseline/graphene"
 	"blaze/internal/costmodel"
-	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/metrics"
+	"blaze/internal/registry"
 	"blaze/internal/ssd"
-	"blaze/internal/syncvar"
 )
 
 // Queries in paper order.
@@ -108,51 +105,29 @@ func Run(d *Dataset, o Opts) Result {
 		model = *o.Model
 	}
 
-	var sys algo.System
-	switch o.System {
-	case "blaze", "sync":
-		cfg := engine.DefaultConfig(d.CSR.E).WithThreads(o.ComputeWorkers, o.Ratio)
-		cfg.Model = model
-		cfg.Stats = stats
-		cfg.Mem = mem
-		if o.BinCount > 0 {
-			cfg.BinCount = o.BinCount
-		}
-		if o.BinSpace > 0 {
-			cfg.BinSpaceBytes = o.BinSpace
-		}
-		if o.IOBufBytes > 0 {
-			cfg.IOBufferBytes = o.IOBufBytes
-		}
-		if o.System == "blaze" {
-			sys = algo.NewBlaze(ctx, cfg)
-		} else {
-			sys = syncvar.New(ctx, cfg)
-		}
-	case "flashgraph":
-		cfg := flashgraph.DefaultConfig()
-		cfg.ComputeWorkers = o.ComputeWorkers
-		cfg.Model = model
-		cfg.Stats = stats
-		// FlashGraph's page cache (1 GB on the paper's testbed) must scale
-		// with the datasets, or it would swallow the scaled graphs whole
-		// and erase the out-of-core behaviour under study.
-		if d.Preset.PaperV > 0 {
-			f := float64(d.Preset.V) / (d.Preset.PaperV * 1e6)
-			cfg.CacheBytes = int64(f * float64(1<<30))
-		}
-		sys = flashgraph.New(ctx, cfg)
-	case "graphene":
-		cfg := graphene.DefaultConfig(o.NumDev)
-		cfg.Pairs = o.ComputeWorkers / 2
-		if cfg.Pairs < 1 {
-			cfg.Pairs = 1
-		}
-		cfg.Model = model
-		cfg.Stats = stats
-		sys = graphene.New(ctx, cfg, o.Profile)
-	default:
-		panic(fmt.Sprintf("bench: unknown system %q", o.System))
+	ro := registry.Options{
+		Edges:         d.CSR.E,
+		Workers:       o.ComputeWorkers,
+		Ratio:         o.Ratio,
+		NumDev:        o.NumDev,
+		Profile:       o.Profile,
+		Model:         &model,
+		Stats:         stats,
+		Mem:           mem,
+		BinCount:      o.BinCount,
+		BinSpaceBytes: o.BinSpace,
+		IOBufferBytes: o.IOBufBytes,
+	}
+	// FlashGraph's page cache (1 GB on the paper's testbed) must scale
+	// with the datasets, or it would swallow the scaled graphs whole
+	// and erase the out-of-core behaviour under study.
+	if d.Preset.PaperV > 0 {
+		f := float64(d.Preset.V) / (d.Preset.PaperV * 1e6)
+		ro.CacheBytes = int64(f * float64(1<<30))
+	}
+	sys, err := registry.New(o.System, ctx, ro)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
 	}
 
 	res := Result{Opts: o, Graph: d.Preset.Short, Timeline: tl, Mem: mem}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// SnapshotEntry is one engine×query measurement in the pipeline perf
+// snapshot: the modeled makespan plus the host-side allocation cost of
+// driving the virtual-time pipeline, the two numbers a pipeline-layer
+// change can regress.
+type SnapshotEntry struct {
+	Engine     string `json:"engine"`
+	Query      string `json:"query"`
+	Graph      string `json:"graph"`
+	MakespanNs int64  `json:"makespan_ns"`
+	ReadBytes  int64  `json:"read_bytes"`
+	Allocs     int64  `json:"allocs"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// Snapshot runs every sim-capable registry engine over a small dataset in
+// short sim mode and returns per-engine makespan and allocation counts.
+// Allocation numbers are process-wide deltas around the run (GC noise
+// included), good for trajectory tracking, not for precise accounting.
+func Snapshot(scale float64) ([]SnapshotEntry, error) {
+	d, err := Load("r2", scale)
+	if err != nil {
+		return nil, err
+	}
+	var entries []SnapshotEntry
+	for _, system := range []string{"blaze", "blaze-sync", "flashgraph", "graphene"} {
+		for _, query := range []string{"bfs", "pr"} {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			res := Run(d, Opts{System: system, Query: query, PRIters: 5})
+			runtime.ReadMemStats(&after)
+			entries = append(entries, SnapshotEntry{
+				Engine:     system,
+				Query:      query,
+				Graph:      d.Preset.Short,
+				MakespanNs: res.ElapsedNs,
+				ReadBytes:  res.ReadBytes,
+				Allocs:     int64(after.Mallocs - before.Mallocs),
+				AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+			})
+		}
+	}
+	return entries, nil
+}
+
+// WriteSnapshot writes the snapshot entries as indented JSON to path.
+func WriteSnapshot(path string, entries []SnapshotEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

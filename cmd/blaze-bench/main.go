@@ -8,6 +8,7 @@
 //	blaze-bench -exp fig9 -scale 512   # larger datasets (slower)
 //	blaze-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	blaze-bench -exp fig8 -faultTransientRate 0.001  # failure drill
+//	blaze-bench -snapshot BENCH_pipeline.json        # CI perf snapshot
 //	blaze-bench -list
 //
 // The -fault* flags inject deterministic device faults (see internal/fault)
@@ -45,6 +46,7 @@ func run() (code int) {
 	scale := flag.Float64("scale", bench.DefaultScale, "divide the paper's dataset sizes by this factor")
 	out := flag.String("out", "results", "output directory for CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
+	snapshot := flag.String("snapshot", "", "write a short-sim pipeline perf snapshot (makespan + allocs per engine) to this JSON file and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fo := &cli.Options{}
@@ -61,6 +63,24 @@ func run() (code int) {
 	if fo.FaultPolicy().Enabled() || fo.RetryMax >= 0 || fo.RetryBackoffNs > 0 {
 		bench.DeviceOpts = fo.DeviceOptions()
 		fmt.Fprintln(os.Stderr, "note: fault injection / retry overrides active; outputs will diverge from the paper figures")
+	}
+
+	if *snapshot != "" {
+		entries, err := bench.Snapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteSnapshot(*snapshot, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-12s %-4s makespan=%8.3fms read=%6.1fMB allocs=%d\n",
+				e.Engine, e.Query, float64(e.MakespanNs)/1e6, float64(e.ReadBytes)/1e6, e.Allocs)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshot)
+		return 0
 	}
 
 	if *list || *exp == "" {

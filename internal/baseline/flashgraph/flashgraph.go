@@ -26,6 +26,7 @@ import (
 	"blaze/internal/frontier"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
+	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
 )
 
@@ -97,11 +98,6 @@ type message struct {
 	val float64
 }
 
-type pageBuf struct {
-	data    []byte
-	logical int64
-}
-
 // owner returns the computation thread owning vertex v under range
 // partitioning — FlashGraph's assignment "based on the vertex ID" (§III-A).
 func owner(v, n uint32, workers int) int {
@@ -126,8 +122,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ComputeWorkers
 
-	f.Seal()
-	ps := frontier.PagesOf(f, c, numDev)
+	ps := pipeline.PageSource(ctx, p, f, c, numDev, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
 	if ps.Pages() == 0 {
 		if !output {
@@ -136,66 +131,47 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		return frontier.NewVertexSubset(c.V), nil
 	}
 
-	bufCount := int(cfg.IOBufferBytes / ssd.PageSize)
-	if bufCount < 2*numDev {
-		bufCount = 2 * numDev
-	}
-	if int64(bufCount) > ps.Pages()+int64(2*numDev) {
-		bufCount = int(ps.Pages()) + 2*numDev
-	}
-	free := exec.NewQueue[*pageBuf](ctx, bufCount)
-	filled := exec.NewQueue[*pageBuf](ctx, bufCount)
-	for i := 0; i < bufCount; i++ {
-		free.Push(p, &pageBuf{data: make([]byte, ssd.PageSize)})
-	}
+	bufCount := pipeline.BufferCount(cfg.IOBufferBytes, ssd.PageSize, numDev, ps.Pages())
+	free, filled := pipeline.NewQueues(ctx, bufCount)
+	pipeline.Stock(p, free, bufCount, ssd.PageSize)
 
-	// IO procs, one per device, 4 kB requests with an LRU cache in front.
+	// IO readers, one per device, single-page requests (MergeRuns(1))
+	// with the LRU cache in front. FlashGraph synchronizes before every
+	// cache access — including misses — so the probe itself syncs.
 	ab := &exec.Latch{}
-	ioWG := ctx.NewWaitGroup()
-	ioWG.Add(numDev)
+	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
 		dev := d
-		pages := ps.PerDev[d]
-		ctx.Go(fmt.Sprintf("fg-io%d", dev), func(io exec.Proc) {
-			device := g.Arr.Device(dev)
-			for _, local := range pages {
-				if ab.Failed() {
-					break
-				}
-				logical := g.Arr.Logical(dev, local)
-				buf, ok := free.Pop(io)
-				if !ok || ab.Failed() {
-					if ok {
-						free.Push(io, buf)
-					}
-					break
-				}
-				buf.logical = logical
+		readers[d] = &pipeline.Reader{
+			Name:       fmt.Sprintf("fg-io%d", dev),
+			Device:     g.Arr.Device(dev),
+			Dev:        dev,
+			Pages:      ps.PerDev[dev],
+			Free:       free,
+			Filled:     filled,
+			Latch:      ab,
+			Merge:      pipeline.MergeRuns(1),
+			SubmitCost: m.IOSubmit,
+			HitCost:    m.PageOverhead / 2,
+			Probe: func(io exec.Proc, buf *pipeline.Buffer) bool {
+				logical := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
-				if s.cache.Get(pagecache.Key{Graph: c, Logical: logical}, buf.data) {
-					// Cache hit: a memcpy, no device time.
-					io.Advance(m.PageOverhead / 2)
-					filled.Push(io, buf)
-					continue
-				}
-				io.Advance(m.IOSubmit(1))
-				done, err := device.ScheduleRead(io, local, 1, buf.data)
-				if err != nil {
-					ab.Fail(fmt.Errorf("flashgraph: edgemap on %q: %w", g.Name, err))
-					free.Push(io, buf)
-					break
-				}
+				return s.cache.Get(pagecache.Key{Graph: c, Logical: logical}, buf.Data)
+			},
+			Fill: func(io exec.Proc, buf *pipeline.Buffer) {
+				logical := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
-				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.data)
-				filled.PushAt(io, buf, done)
-			}
-			ioWG.Done(io)
-		})
+				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.Data)
+			},
+			WrapErr: func(err error) error {
+				return fmt.Errorf("flashgraph: edgemap on %q: %w", g.Name, err)
+			},
+		}
 	}
-	ctx.Go("fg-io-closer", func(cp exec.Proc) {
-		ioWG.Wait(cp)
-		filled.Close()
-	})
+	ioWG := ctx.NewWaitGroup()
+	ioWG.Add(numDev)
+	pipeline.Start(ctx, ioWG, readers)
+	pipeline.CloseAfter(ctx, "fg-io-closer", ioWG, filled)
 
 	// Phase 1: scatter procs turn pages into messages routed to owners.
 	msgs := make([][]message, workers)
@@ -216,18 +192,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				msgMu[o].Unlock()
 				local[o] = local[o][:0]
 			}
-			for {
-				buf, ok := filled.Pop(sp)
-				if !ok {
-					break
-				}
-				if ab.Failed() {
-					// Drain-and-recycle so blocked IO procs wake.
-					free.Push(sp, buf)
-					continue
-				}
+			pipeline.Drain(sp, free, filled, ab, false, func(buf *pipeline.Buffer) {
+				logical := g.Arr.Logical(buf.Dev, buf.Start)
 				var produced int64
-				vertices, edges := engine.ForEachActiveEdge(c, f, buf.logical, buf.data, func(src, d uint32) {
+				vertices, edges := engine.ForEachActiveEdge(c, f, logical, buf.Data, func(src, d uint32) {
 					if fns.Cond(d) {
 						o := owner(d, c.V, workers)
 						local[o] = append(local[o], message{d, fns.Scatter(src, d)})
@@ -238,8 +206,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 					}
 				})
 				sp.Advance(m.PageOverhead + m.VertexOp*vertices + m.EdgeScan*edges + m.MsgEnqueue*produced)
-				free.Push(sp, buf)
-			}
+			})
 			for o := range local {
 				flush(o)
 			}
@@ -297,12 +264,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	if !output {
 		return nil, nil
 	}
-	merged := frontier.NewVertexSubset(c.V)
-	for _, of := range outFronts {
-		merged.Merge(of)
-	}
-	merged.Seal()
-	return merged, nil
+	return pipeline.MergeFrontiers(c.V, outFronts), nil
 }
 
 // debugMsgHist, when set by tests, receives the per-owner message counts

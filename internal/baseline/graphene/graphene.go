@@ -30,6 +30,7 @@ import (
 	"blaze/internal/frontier"
 	"blaze/internal/graph"
 	"blaze/internal/metrics"
+	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
 )
 
@@ -54,6 +55,9 @@ type Config struct {
 	Model          costmodel.Model
 	// Stats receives per-device read accounting (Fig. 3 uses EndEpoch).
 	Stats *metrics.IOStats
+	// DevOpts configures the baseline's own devices (fault injection,
+	// retry policy); empty means stock devices.
+	DevOpts []ssd.DeviceOptions
 }
 
 // DefaultConfig mirrors the paper's 16-thread setup on nssd devices.
@@ -125,7 +129,7 @@ func (s *System) placementFor(g *engine.Graph) *placement {
 	pl := &placement{pagesPerPart: pagesPerPart}
 	pl.devs = make([]*ssd.Device, s.Cfg.NumSSDs)
 	for d := 0; d < s.Cfg.NumSSDs; d++ {
-		pl.devs[d] = ssd.NewDevice(s.Ctx, d, s.prof, &ssd.MemBacking{Data: c.Adj}, s.Cfg.Stats, nil)
+		pl.devs[d] = ssd.MergeDeviceOptions(s.Cfg.DevOpts).Build(s.Ctx, d, s.prof, &ssd.MemBacking{Data: c.Adj}, s.Cfg.Stats, nil)
 	}
 	s.placements[g.CSR] = pl
 	return pl
@@ -153,12 +157,6 @@ func (pl *placement) pairOf(logical int64, pairs int) int {
 	return int((logical / pl.pagesPerPart) % int64(pairs))
 }
 
-type ioBuffer struct {
-	data     []byte
-	start    int64 // first logical page
-	numPages int
-}
-
 // EdgeMap implements algo.System. On an unrecoverable device error every
 // pair drains, all procs join, and the error is returned.
 func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
@@ -170,9 +168,8 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	c := g.CSR
 	pl := s.placementFor(g)
 
-	f.Seal()
 	// Active logical pages, ascending, then routed to owning pairs.
-	all := frontier.PagesOf(f, c, 1)
+	all := pipeline.PageSource(ctx, p, f, c, 1, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(2*cfg.Pairs))
 	if all.Pages() == 0 {
 		if !output {
@@ -196,60 +193,33 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	wg := ctx.NewWaitGroup()
 	wg.Add(cfg.Pairs)
 	outFronts := make([]*frontier.VertexSubset, cfg.Pairs)
-	frees := make([]exec.Queue[*ioBuffer], cfg.Pairs)
+	frees := make([]exec.Queue[*pipeline.Buffer], cfg.Pairs)
 	for pr := 0; pr < cfg.Pairs; pr++ {
 		pair := pr
-		pages := perPair[pr]
-		dev := pl.devs[pair%cfg.NumSSDs]
 		// Per-pair buffer queues: the strict 1 IO : 1 compute coupling.
-		free := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
-		filled := exec.NewQueue[*ioBuffer](ctx, cfg.BuffersPerPair)
+		free, filled := pipeline.NewQueues(ctx, cfg.BuffersPerPair)
 		frees[pr] = free
-		for i := 0; i < cfg.BuffersPerPair; i++ {
-			free.Push(p, &ioBuffer{data: make([]byte, cfg.MaxIOPages*ssd.PageSize)})
+		pipeline.Stock(p, free, cfg.BuffersPerPair, cfg.MaxIOPages*ssd.PageSize)
+		r := &pipeline.Reader{
+			Name:   fmt.Sprintf("gr-io%d", pair),
+			Device: pl.devs[pair%cfg.NumSSDs],
+			Dev:    pair % cfg.NumSSDs,
+			Pages:  perPair[pair],
+			Free:   free,
+			Filled: filled,
+			Latch:  ab,
+			// Large IO: merge across gaps up to GapMergePages wide, capped
+			// at MaxIOPages, never across a partition boundary.
+			Merge:      pipeline.MergeGaps(cfg.MaxIOPages, cfg.GapMergePages, pl.pagesPerPart),
+			SubmitCost: m.IOSubmit,
+			WrapErr: func(err error) error {
+				return fmt.Errorf("graphene: edgemap on %q: %w", g.Name, err)
+			},
 		}
-		ctx.Go(fmt.Sprintf("gr-io%d", pair), func(io exec.Proc) {
-			i := 0
-			for i < len(pages) && !ab.Failed() {
-				// Large IO: merge across gaps up to GapMergePages wide,
-				// capped at MaxIOPages, never across a partition boundary.
-				start := pages[i]
-				end := start // inclusive last page
-				part := start / pl.pagesPerPart
-				j := i + 1
-				for j < len(pages) {
-					next := pages[j]
-					if next/pl.pagesPerPart != part {
-						break
-					}
-					if next-end-1 > int64(cfg.GapMergePages) {
-						break
-					}
-					if next-start+1 > int64(cfg.MaxIOPages) {
-						break
-					}
-					end = next
-					j++
-				}
-				n := int(end - start + 1)
-				buf, ok := free.Pop(io)
-				if !ok || ab.Failed() {
-					if ok {
-						free.Push(io, buf)
-					}
-					break
-				}
-				buf.start, buf.numPages = start, n
-				io.Advance(m.IOSubmit(n))
-				done, err := dev.ScheduleRead(io, start, n, buf.data[:n*ssd.PageSize])
-				if err != nil {
-					ab.Fail(fmt.Errorf("graphene: edgemap on %q: %w", g.Name, err))
-					free.Push(io, buf)
-					break
-				}
-				filled.PushAt(io, buf, done)
-				i = j
-			}
+		// No shared closer proc: each pair's IO proc ends its own filled
+		// stream, releasing exactly its paired compute proc.
+		ctx.Go(r.Name, func(io exec.Proc) {
+			r.Run(io)
 			filled.Close()
 		})
 		ctx.Go(fmt.Sprintf("gr-compute%d", pair), func(cp exec.Proc) {
@@ -257,19 +227,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			if output {
 				out = frontier.NewVertexSubset(c.V)
 			}
-			for {
-				buf, ok := filled.Pop(cp)
-				if !ok {
-					break
-				}
-				if ab.Failed() {
-					// Drain-and-recycle so a blocked IO proc wakes.
-					free.Push(cp, buf)
-					continue
-				}
-				for pg := 0; pg < buf.numPages; pg++ {
-					logical := buf.start + int64(pg)
-					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+			pipeline.Drain(cp, free, filled, ab, false, func(buf *pipeline.Buffer) {
+				for pg := 0; pg < buf.NumPages; pg++ {
+					logical := buf.Start + int64(pg)
+					pageData := buf.Data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
 					var produced int64
 					cp.Sync()
 					vertices, edges := engine.ForEachActiveEdge(c, f, logical, pageData, func(src, d uint32) {
@@ -283,8 +244,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 					})
 					cp.Advance(m.PageOverhead + m.VertexOp*vertices + m.EdgeScan*edges + (updCost+hotExtra)*produced)
 				}
-				free.Push(cp, buf)
-			}
+			})
 			outFronts[pair] = out
 			wg.Done(cp)
 		})
@@ -299,12 +259,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	if !output {
 		return nil, nil
 	}
-	merged := frontier.NewVertexSubset(c.V)
-	for _, of := range outFronts {
-		merged.Merge(of)
-	}
-	merged.Seal()
-	return merged, nil
+	return pipeline.MergeFrontiers(c.V, outFronts), nil
 }
 
 // DeviceBytes exposes per-device totals (via Stats).

@@ -23,13 +23,16 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/fault"
+	"blaze/internal/graph"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
+	"blaze/internal/registry"
 	"blaze/internal/ssd"
 )
 
 // Options holds the parsed command line.
 type Options struct {
+	Engine         string
 	ComputeWorkers int
 	StartNode      uint
 	BinSpaceMB     int
@@ -91,6 +94,7 @@ func (o *Options) DeviceOptions() []ssd.DeviceOptions {
 func ParseFlags(tool string, needTranspose bool) *Options {
 	o := &Options{}
 	fs := flag.NewFlagSet(tool, flag.ExitOnError)
+	fs.StringVar(&o.Engine, "engine", "blaze", "execution engine: "+strings.Join(registry.Names(), ", "))
 	fs.IntVar(&o.ComputeWorkers, "computeWorkers", 16, "number of computation workers (split between scatter and gather)")
 	fs.UintVar(&o.StartNode, "startNode", 0, "source vertex for traversal queries")
 	fs.IntVar(&o.BinSpaceMB, "binSpace", 0, "total bin space in MB (0 = heuristic: ~5 bytes/edge)")
@@ -152,15 +156,19 @@ type Env struct {
 	Stats *metrics.IOStats
 	Out   *engine.Graph
 	In    *engine.Graph // nil unless transpose inputs were given
-	Sys   *algo.Blaze
+	Sys   algo.System
 	start time.Time
 }
 
-// Setup loads the graphs and builds the engine.
+// Setup loads the graphs and builds the engine selected by -engine
+// through the shared registry.
 func Setup(o *Options) (*Env, error) {
 	prof, err := o.DeviceProfile()
 	if err != nil {
 		return nil, err
+	}
+	if o.Engine == "" {
+		o.Engine = "blaze"
 	}
 	var ctx exec.Context
 	if o.Sim {
@@ -183,19 +191,51 @@ func Setup(o *Options) (*Env, error) {
 		}
 		env.In = in
 	}
-	cfg := engine.DefaultConfig(out.NumEdges()).WithThreads(o.ComputeWorkers, o.BinningRatio)
-	cfg.Stats = stats
-	cfg.BinCount = o.BinCount
+	// Engines that traverse the adjacency from DRAM (inmem) or place it on
+	// their own devices (graphene) need the packed adjacency in memory; the
+	// out-of-core engines keep it on disk behind the striped array.
+	if registry.NeedsAdjacency(o.Engine) {
+		if err := graph.ReadAdj(o.AdjPath, out.CSR); err != nil {
+			env.Close()
+			return nil, err
+		}
+		if env.In != nil {
+			if err := graph.ReadAdj(o.InAdj, env.In.CSR); err != nil {
+				env.Close()
+				return nil, err
+			}
+		}
+	}
+	var cache *pagecache.Cache
 	if o.PageCacheMB > 0 {
-		cfg.PageCache = pagecache.New(int64(o.PageCacheMB) << 20)
+		cache = pagecache.New(int64(o.PageCacheMB) << 20)
+	}
+	// Env.Cfg mirrors the blaze-family configuration for callers that
+	// reach the engine layer directly; the registry builds each engine's
+	// own config from the same options.
+	ro := registry.Options{
+		Edges:     out.NumEdges(),
+		Workers:   o.ComputeWorkers,
+		Ratio:     o.BinningRatio,
+		NumDev:    o.Devices,
+		Profile:   prof,
+		Stats:     stats,
+		BinCount:  o.BinCount,
+		PageCache: cache,
+		DevOpts:   devOpts,
 	}
 	if o.BinSpaceMB > 0 {
-		cfg.BinSpaceBytes = int64(o.BinSpaceMB) << 20
+		ro.BinSpaceBytes = int64(o.BinSpaceMB) << 20
 	}
-	env.Cfg = cfg
-	env.Sys = algo.NewBlaze(ctx, cfg)
+	env.Cfg = ro.BlazeConfig()
+	sys, err := registry.New(o.Engine, ctx, ro)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Sys = sys
 	if uint64(o.StartNode) >= uint64(out.NumVertices()) {
-		out.Close()
+		env.Close()
 		return nil, fmt.Errorf("startNode %d out of range (|V| = %d)", o.StartNode, out.NumVertices())
 	}
 	return env, nil

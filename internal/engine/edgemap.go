@@ -7,25 +7,9 @@ import (
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
 	"blaze/internal/pagecache"
+	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
 )
-
-// ioBuffer is one IO buffer: up to MaxMergePages device-contiguous pages
-// read from a single device.
-type ioBuffer struct {
-	data       []byte
-	dev        int
-	localStart int64
-	numPages   int
-}
-
-// ioBatch bounds how many queue items the pipeline procs move per lock
-// acquisition on the real-time backend. Small enough that holding a batch
-// never starves the pipeline (bufCount >= 2*numDev and each gather batch is
-// returned buffer-by-buffer), large enough to amortize the mutex on the
-// per-page hot path. The virtual-time queues transfer one item per batch
-// call regardless, preserving the calibrated figures.
-const ioBatch = 4
 
 // Stats summarizes one EdgeMap execution.
 type Stats struct {
@@ -46,6 +30,10 @@ type Stats struct {
 //
 // When output is true the new frontier is returned; otherwise nil.
 // The value flow runs through online binning, so gather needs no atomics.
+//
+// The storage side — page-frontier source, per-device readers, buffer
+// queues, drain-and-recycle shutdown — is the shared pipeline stage
+// library; this file contributes the bin-scatter/gather compute sink.
 //
 // EdgeMap fails cleanly: on the first unrecoverable device error (after
 // the device's retry policy is exhausted) the pipeline stops issuing IO,
@@ -77,18 +65,8 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		pool = nil
 	}
 
-	// Step 1: vertex frontier -> per-device page frontiers. The paper uses
-	// all available threads for this transformation; under the real-time
-	// backend it fans out over the compute procs with per-chunk partial
-	// page sets merged at the end, while the virtual-time backend executes
-	// it on the calling proc and charges the modeled parallel cost.
-	f.Seal()
-	var ps *frontier.PageSubset
-	if !ctx.IsSim() && computeProcs > 1 {
-		ps = frontier.PagesOfParallel(ctx, p, f, c, numDev, computeProcs)
-	} else {
-		ps = frontier.PagesOf(f, c, numDev)
-	}
+	// Step 1: vertex frontier -> per-device page frontiers.
+	ps := pipeline.PageSource(ctx, p, f, c, numDev, computeProcs)
 	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
 	if ps.Pages() == 0 {
 		if !output {
@@ -100,21 +78,14 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	// IO buffers and their two MPMC queues (steps 2-4, 7).
 	bufPages := cfg.MaxMergePages
 	bufLen := bufPages * ssd.PageSize
-	bufCount := int(cfg.IOBufferBytes / int64(bufLen))
-	if bufCount < 2*numDev {
-		bufCount = 2 * numDev
-	}
-	if int64(bufCount) > ps.Pages()+int64(2*numDev) {
-		bufCount = int(ps.Pages()) + 2*numDev // no point allocating more
-	}
-	free := exec.NewQueue[*ioBuffer](ctx, bufCount)
-	filled := exec.NewQueue[*ioBuffer](ctx, bufCount)
-	var bufs []*ioBuffer
+	bufCount := pipeline.BufferCount(cfg.IOBufferBytes, bufLen, numDev, ps.Pages())
+	free, filled := pipeline.NewQueues(ctx, bufCount)
+	var bufs []*pipeline.Buffer
 	if pool != nil {
 		bufs = pool.takeIOBuffers(bufLen, bufCount)
 	}
 	for len(bufs) < bufCount {
-		bufs = append(bufs, &ioBuffer{data: make([]byte, bufLen)})
+		bufs = append(bufs, &pipeline.Buffer{Data: make([]byte, bufLen)})
 	}
 	free.PushN(p, bufs)
 	if cfg.Mem != nil {
@@ -161,90 +132,60 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	// has fully quiesced.
 	ab := &exec.Latch{}
 
-	// IO procs: one per device (step 2), merging up to MaxMergePages
-	// device-contiguous pages per request and never merging across gaps.
-	ioWG := ctx.NewWaitGroup()
-	ioWG.Add(numDev)
+	// IO readers: one per device (step 2), merging up to MaxMergePages
+	// device-contiguous pages per request and never merging across gaps,
+	// with the optional page cache probed in front of the device. The cache
+	// serves a single page per buffer: merged runs are filled page by page
+	// on the way in, but Get never serves a multi-page run (the probe only
+	// asks for the one page at the cursor), so a hit always bypasses merge.
+	cache := cfg.PageCache
+	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
 		dev := d
-		pages := ps.PerDev[d]
-		ctx.Go(fmt.Sprintf("io%d", dev), func(io exec.Proc) {
-			device := g.Arr.Device(dev)
-			cache := cfg.PageCache
-			// Free buffers are claimed in batches of up to ioBatch under
-			// one lock acquisition (the virtual-time queue hands out one
-			// per call); leftovers go back when the page list runs out.
-			var batch [ioBatch]*ioBuffer
-			bn, bi := 0, 0
-			i := 0
-			for i < len(pages) && !ab.Failed() {
-				if bi == bn {
-					bn = free.PopBatch(io, batch[:])
-					bi = 0
-					if bn == 0 {
-						break
-					}
-					// The pop may have blocked while another proc failed;
-					// recheck before issuing more IO.
-					if ab.Failed() {
-						break
-					}
-				}
-				buf := batch[bi]
-				bi++
-				buf.dev = dev
-				// Page-cache hit: serve from memory, no device time.
-				if cache.Enabled() {
-					logical := g.Arr.Logical(dev, pages[i])
-					if cache.Get(pagecache.Key{Graph: g.CSR, Logical: logical}, buf.data[:ssd.PageSize]) {
-						buf.localStart = pages[i]
-						buf.numPages = 1
-						io.Advance(m.PageOverhead / 2)
-						filled.Push(io, buf)
-						i++
-						continue
-					}
-				}
-				run := 1
-				for run < cfg.MaxMergePages && i+run < len(pages) && pages[i+run] == pages[i]+int64(run) {
-					run++
-				}
-				buf.localStart = pages[i]
-				buf.numPages = run
-				io.Advance(m.IOSubmit(run))
-				done, err := device.ScheduleRead(io, pages[i], run, buf.data[:run*ssd.PageSize])
-				if err != nil {
-					// Unrecoverable read (retries exhausted or permanent):
-					// latch the failure, hand the buffer back, and stop
-					// this device's stream.
-					ab.Fail(fmt.Errorf("engine: edgemap on %q: %w", g.Name, err))
-					bi--
-					break
-				}
-				if cache.Enabled() {
-					io.Sync()
-					for pg := 0; pg < run; pg++ {
-						logical := g.Arr.Logical(dev, pages[i]+int64(pg))
-						cache.Put(pagecache.Key{Graph: g.CSR, Logical: logical},
-							buf.data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
-					}
-				}
-				filled.PushAt(io, buf, done)
-				i += run
+		r := &pipeline.Reader{
+			Name:       fmt.Sprintf("io%d", dev),
+			Device:     g.Arr.Device(dev),
+			Dev:        dev,
+			Pages:      ps.PerDev[dev],
+			Free:       free,
+			Filled:     filled,
+			Latch:      ab,
+			Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
+			SubmitCost: m.IOSubmit,
+			Batched:    true,
+			WrapErr: func(err error) error {
+				return fmt.Errorf("engine: edgemap on %q: %w", g.Name, err)
+			},
+		}
+		if cache.Enabled() {
+			r.HitCost = m.PageOverhead / 2
+			r.Probe = func(io exec.Proc, buf *pipeline.Buffer) bool {
+				logical := g.Arr.Logical(buf.Dev, buf.Start)
+				return cache.Get(pagecache.Key{Graph: g.CSR, Logical: logical}, buf.Data[:ssd.PageSize])
 			}
-			if bi < bn {
-				free.PushN(io, batch[bi:bn])
+			r.Fill = func(io exec.Proc, buf *pipeline.Buffer) {
+				// Key construction is pure: hoist the striped-array math out
+				// of the synchronized section so the lock window only covers
+				// the cache inserts. Logical(dev, local+pg) advances by the
+				// device-count stride per page of the merged run.
+				base := g.Arr.Logical(buf.Dev, buf.Start)
+				stride := int64(g.Arr.NumDevices())
+				io.Sync()
+				for pg := 0; pg < buf.NumPages; pg++ {
+					cache.Put(pagecache.Key{Graph: g.CSR, Logical: base + int64(pg)*stride},
+						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+				}
 			}
-			ioWG.Done(io)
-		})
+		}
+		readers[dev] = r
 	}
+	ioWG := ctx.NewWaitGroup()
+	ioWG.Add(numDev)
+	pipeline.Start(ctx, ioWG, readers)
 	// Closer proc ends the filled stream once all IO procs finish.
-	ctx.Go("io-closer", func(cp exec.Proc) {
-		ioWG.Wait(cp)
-		filled.Close()
-	})
+	pipeline.CloseAfter(ctx, "io-closer", ioWG, filled)
 
-	// Scatter procs (steps 5-7).
+	// Scatter procs (steps 5-7): the bin-scatter sink.
 	scatterWG := ctx.NewWaitGroup()
 	scatterWG.Add(cfg.ScatterProcs)
 	scatStats := make([]Stats, cfg.ScatterProcs)
@@ -253,29 +194,14 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		ctx.Go(fmt.Sprintf("scatter%d", id), func(sp exec.Proc) {
 			stager := stagers[id]
 			local := &scatStats[id]
-			// Filled buffers drain in batches (one per call under virtual
-			// time) and return to the free queue under one lock.
-			var batch [ioBatch]*ioBuffer
-			for {
-				n := filled.PopBatch(sp, batch[:])
-				if n == 0 {
-					break
+			pipeline.Drain(sp, free, filled, ab, true, func(buf *pipeline.Buffer) {
+				for pg := 0; pg < buf.NumPages; pg++ {
+					logical := g.Arr.Logical(buf.Dev, buf.Start+int64(pg))
+					pageData := buf.Data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+					scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
 				}
-				for _, buf := range batch[:n] {
-					if ab.Failed() {
-						// Drain-and-recycle: the data is from a failed run;
-						// keep returning buffers so blocked IO procs wake.
-						continue
-					}
-					for pg := 0; pg < buf.numPages; pg++ {
-						logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
-						pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
-						scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
-					}
-					local.PagesRead += int64(buf.numPages)
-				}
-				free.PushN(sp, batch[:n])
-			}
+				local.PagesRead += int64(buf.NumPages)
+			})
 			if !ab.Failed() {
 				stager.FlushAll(sp)
 			}
@@ -299,7 +225,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			// per call under virtual time); each buffer still returns to
 			// its bin right after processing so the pair protocol reclaims
 			// spares promptly.
-			var batch [ioBatch]*bin.Buffer[V]
+			var batch [pipeline.ClaimBatch]*bin.Buffer[V]
 			for {
 				n := bm.Full.PopBatch(gp, batch[:])
 				if n == 0 {
@@ -342,7 +268,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	// pool for the next round, then close both buffer queues on every exit
 	// path — the io-closer already closed filled (Close is idempotent).
 	if pool != nil {
-		recovered := make([]*ioBuffer, 0, bufCount)
+		recovered := make([]*pipeline.Buffer, 0, bufCount)
 		for {
 			buf, ok := free.TryPop(p)
 			if !ok {
@@ -367,11 +293,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	if !output {
 		return nil, st, nil
 	}
-	merged := frontier.NewVertexSubset(c.V)
-	for _, of := range outFronts {
-		merged.Merge(of)
-	}
-	merged.Seal()
+	merged := pipeline.MergeFrontiers(c.V, outFronts)
 	p.Advance(m.VertexOp * merged.Count() / int64(computeProcs))
 	st.VerticesMoved = merged.Count()
 	return merged, st, nil

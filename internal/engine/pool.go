@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"blaze/internal/bin"
+	"blaze/internal/pipeline"
 )
 
 // Pool retains the execution state EdgeMap would otherwise rebuild every
@@ -27,7 +28,7 @@ type Pool struct {
 	mu sync.Mutex
 	// ioBufs holds retained IO buffers; all share one backing length, and
 	// a size change (different MaxMergePages config) drops the stock.
-	ioBufs   []*ioBuffer
+	ioBufs   []*pipeline.Buffer
 	ioBufLen int
 	// perType holds bin-side state keyed by the EdgeMap value type: each
 	// instantiation of EdgeMap[V] has its own record layout, so buffers
@@ -43,7 +44,7 @@ func NewPool() *Pool {
 // takeIOBuffers removes up to n retained buffers of bufLen backing bytes.
 // A pool stocked with a different buffer size is emptied: the config that
 // sized those buffers is gone.
-func (pl *Pool) takeIOBuffers(bufLen, n int) []*ioBuffer {
+func (pl *Pool) takeIOBuffers(bufLen, n int) []*pipeline.Buffer {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if pl.ioBufLen != bufLen {
@@ -60,7 +61,7 @@ func (pl *Pool) takeIOBuffers(bufLen, n int) []*ioBuffer {
 }
 
 // putIOBuffers returns buffers to the pool after a round.
-func (pl *Pool) putIOBuffers(bufLen int, bufs []*ioBuffer) {
+func (pl *Pool) putIOBuffers(bufLen int, bufs []*pipeline.Buffer) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if pl.ioBufLen != bufLen {

@@ -7,6 +7,7 @@ import (
 	"blaze/internal/frontier"
 	"blaze/internal/graph"
 	"blaze/internal/metrics"
+	"blaze/internal/pipeline"
 )
 
 // TestEdgeMapPooledRounds runs several EdgeMap rounds on the real backend
@@ -92,7 +93,7 @@ func TestEdgeMapPoolMixedValueTypes(t *testing.T) {
 // restock, mismatched sizes drop.
 func TestPoolRecycling(t *testing.T) {
 	pl := NewPool()
-	bufs := []*ioBuffer{{data: make([]byte, 8)}, {data: make([]byte, 8)}}
+	bufs := []*pipeline.Buffer{{Data: make([]byte, 8)}, {Data: make([]byte, 8)}}
 	pl.putIOBuffers(8, bufs)
 	if got := pl.takeIOBuffers(8, 1); len(got) != 1 {
 		t.Fatalf("take(8,1) = %d buffers, want 1", len(got))

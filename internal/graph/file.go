@@ -157,6 +157,22 @@ func ReadIndex(path string) (*CSR, error) {
 	return c, nil
 }
 
+// ReadAdj loads a .gr.adj.0 file fully into memory and attaches it to the
+// index-only CSR (trimming page padding). Engines that need the adjacency
+// in DRAM — the in-core engine and graphene's self-placed devices — use
+// this; the out-of-core engines leave the adjacency on disk via OpenAdj.
+func ReadAdj(path string, c *CSR) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) < c.AdjBytes() {
+		return fmt.Errorf("graph: %s: size %d < adjacency %d", path, len(data), c.AdjBytes())
+	}
+	c.Adj = data[:c.AdjBytes()]
+	return nil
+}
+
 // OpenAdj opens a .gr.adj.0 file for device-backed reads, returning the
 // ReaderAt and the adjacency size in bytes (excluding page padding).
 func OpenAdj(path string, c *CSR) (*os.File, int64, error) {

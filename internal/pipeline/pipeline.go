@@ -1,0 +1,117 @@
+// Package pipeline is the shared out-of-core pipeline-stage library used
+// by every EdgeMap engine in this repository: Blaze's online-binning
+// engine, its synchronization-based variant, and the FlashGraph-style and
+// Graphene-style baselines.
+//
+// All four engines execute the same storage-side skeleton (§IV-C, Fig. 5):
+//
+//	vertex frontier → page frontier → per-device IO readers
+//	    → free/filled buffer queues → compute sinks → output frontier
+//
+// and differ only in how the compute sinks consume filled buffers
+// (bin-scatter/gather, inline-atomic apply, or owner-queue message
+// passing) and in reader policy (contiguous-run merge vs gap merge, page
+// cache in front of the device or not). This package owns the parts they
+// share:
+//
+//   - Buffer, the IO buffer unit, with BufferCount sizing and Stock/
+//     NewQueues free/filled queue construction;
+//   - Reader, the per-device IO proc loop (merge policy, page-cache
+//     probe/fill hooks, retry-aware ScheduleRead, failure-latch
+//     drain-and-recycle, batched or per-item free-queue claims);
+//   - Drain, the sink-side consumption loop (batched or per-item), which
+//     recycles every buffer back to the free queue even after a failure so
+//     blocked readers always wake;
+//   - PageSource and MergeFrontiers, the frontier-side endpoints.
+//
+// Virtual-time discipline: the library preserves the exact per-item queue
+// protocol and cost-charging order of the engines it was extracted from.
+// Every hook (Merge, Probe, Fill, SubmitCost) either charges model time
+// exactly where the original engine did or is pure computation, so the
+// calibrated figures (fig8/fig10) are byte-identical before and after the
+// extraction. Batching (ClaimBatch) is a real-time optimization only: the
+// virtual-time queues transfer one item per batched call by construction.
+package pipeline
+
+import (
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+)
+
+// Buffer is one IO buffer: up to a reader's merge cap of device-contiguous
+// pages read from a single device. Start is in the device's own page
+// address space (device-local for striped arrays, logical for engines that
+// address devices by logical page).
+type Buffer struct {
+	Data     []byte
+	Dev      int
+	Start    int64
+	NumPages int
+}
+
+// ClaimBatch bounds how many queue items batched pipeline procs move per
+// lock acquisition on the real-time backend. Small enough that holding a
+// batch never starves the pipeline (BufferCount keeps at least 2 buffers
+// per device and each batch returns promptly), large enough to amortize
+// the mutex on the per-page hot path. The virtual-time queues transfer one
+// item per batch call regardless, preserving the calibrated figures.
+const ClaimBatch = 4
+
+// BufferCount sizes the free/filled queue budget: budgetBytes of bufLen
+// buffers, floored at two per device (so no reader can starve) and capped
+// at the page frontier size plus that floor (no point allocating more).
+func BufferCount(budgetBytes int64, bufLen, numDev int, pages int64) int {
+	n := int(budgetBytes / int64(bufLen))
+	if n < 2*numDev {
+		n = 2 * numDev
+	}
+	if int64(n) > pages+int64(2*numDev) {
+		n = int(pages) + 2*numDev
+	}
+	return n
+}
+
+// NewQueues returns the free/filled MPMC queue pair for count buffers.
+func NewQueues(ctx exec.Context, count int) (free, filled exec.Queue[*Buffer]) {
+	return exec.NewQueue[*Buffer](ctx, count), exec.NewQueue[*Buffer](ctx, count)
+}
+
+// Stock fills the free queue with count freshly allocated buffers of
+// bufLen bytes, one Push per buffer (the seed allocation pattern the
+// virtual-time figures were calibrated against). Engines with a buffer
+// pool stock recycled buffers with PushN instead.
+func Stock(p exec.Proc, free exec.Queue[*Buffer], count, bufLen int) {
+	for i := 0; i < count; i++ {
+		free.Push(p, &Buffer{Data: make([]byte, bufLen)})
+	}
+}
+
+// PageSource converts a sealed vertex frontier into the per-device page
+// frontier that drives the readers. With parallelProcs > 1 under the
+// real-time backend the conversion fans out over the compute procs; the
+// virtual-time backend always runs it on the calling proc and lets the
+// engine charge the modeled parallel cost.
+func PageSource(ctx exec.Context, p exec.Proc, f *frontier.VertexSubset,
+	c *graph.CSR, numDev, parallelProcs int) *frontier.PageSubset {
+	f.Seal()
+	if !ctx.IsSim() && parallelProcs > 1 {
+		return frontier.PagesOfParallel(ctx, p, f, c, numDev, parallelProcs)
+	}
+	return frontier.PagesOf(f, c, numDev)
+}
+
+// MergeFrontiers folds per-proc output frontiers into one sealed subset
+// over n vertices. Nil entries (procs that produced no frontier) are
+// skipped.
+func MergeFrontiers(n uint32, fronts []*frontier.VertexSubset) *frontier.VertexSubset {
+	merged := frontier.NewVertexSubset(n)
+	for _, f := range fronts {
+		if f == nil {
+			continue
+		}
+		merged.Merge(f)
+	}
+	merged.Seal()
+	return merged
+}

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"blaze/internal/exec"
+	"blaze/internal/ssd"
+)
+
+// Merge is a reader's request-coalescing policy: given the sorted page
+// list and the current position i, it returns the number of pages the next
+// request covers (starting at pages[i] in the device's address space) and
+// the next position in the list. A gap-merging policy may cover more pages
+// than it consumes list entries (IO amplification); a run-merging policy
+// never does. Merge must be pure computation — it is called outside any
+// model-time charge.
+type Merge func(pages []int64, i int) (numPages, next int)
+
+// MergeRuns coalesces device-contiguous pages into one request, up to max
+// pages, never across gaps (§IV-C: Blaze merges up to four 4 kB pages).
+func MergeRuns(max int) Merge {
+	return func(pages []int64, i int) (int, int) {
+		run := 1
+		for run < max && i+run < len(pages) && pages[i+run] == pages[i]+int64(run) {
+			run++
+		}
+		return run, i + run
+	}
+}
+
+// MergeGaps is the Graphene-style large-IO policy: requests also fetch
+// inactive gap pages up to gapPages wide, capped at maxPages, never across
+// a partition boundary of pagesPerPart pages. The covered page count
+// includes the gaps (the amplification the paper measures).
+func MergeGaps(maxPages, gapPages int, pagesPerPart int64) Merge {
+	return func(pages []int64, i int) (int, int) {
+		start := pages[i]
+		end := start // inclusive last page
+		part := start / pagesPerPart
+		j := i + 1
+		for j < len(pages) {
+			next := pages[j]
+			if next/pagesPerPart != part {
+				break
+			}
+			if next-end-1 > int64(gapPages) {
+				break
+			}
+			if next-start+1 > int64(maxPages) {
+				break
+			}
+			end = next
+			j++
+		}
+		return int(end - start + 1), j
+	}
+}
+
+// Reader is one per-device IO stage: it walks its page list, claims free
+// buffers, coalesces requests with Merge, optionally probes a page cache,
+// schedules retry-aware asynchronous reads, and hands filled buffers
+// downstream stamped with their completion time. On the first
+// unrecoverable device error it latches the failure, recycles its claimed
+// buffers, and stops issuing IO; it also degrades to a clean stop whenever
+// another stage has latched first.
+type Reader struct {
+	// Name is the proc debug name (e.g. "io0").
+	Name string
+	// Device serves the reads; Dev is the value stamped into Buffer.Dev.
+	Device *ssd.Device
+	Dev    int
+	// Pages is this device's sorted page frontier, in the device's own
+	// address space.
+	Pages []int64
+	// Free and Filled are the buffer queues shared with the sinks.
+	Free, Filled exec.Queue[*Buffer]
+	// Latch is the pipeline's shared failure latch.
+	Latch *exec.Latch
+	// Merge is the request-coalescing policy.
+	Merge Merge
+	// SubmitCost charges model time for submitting an n-page request.
+	SubmitCost func(numPages int) int64
+	// Batched claims free buffers in batches of up to ClaimBatch under one
+	// lock acquisition on the real-time backend (the virtual-time queue
+	// hands out one per call regardless). Leftovers are returned when the
+	// page list runs out or the pipeline fails.
+	Batched bool
+	// Probe, when non-nil, checks a page cache for the single page at
+	// buf.Start before any request is formed; on a hit the reader charges
+	// HitCost, pushes the buffer downstream, and moves to the next page.
+	// Merged runs are never probed: the cache serves one page per buffer
+	// (see the Fill contract).
+	Probe func(io exec.Proc, buf *Buffer) bool
+	// HitCost is the model time charged per cache hit.
+	HitCost int64
+	// Fill, when non-nil, inserts a successfully read buffer's pages into
+	// the cache before the buffer is handed downstream. Implementations
+	// synchronize (Proc.Sync) before touching the shared cache and should
+	// hoist key construction ahead of the synchronized section.
+	Fill func(io exec.Proc, buf *Buffer)
+	// WrapErr decorates an unrecoverable device error with engine context.
+	WrapErr func(error) error
+}
+
+// Run executes the reader loop on the given proc. It returns when the page
+// list is exhausted, the free queue closes, the latch trips, or the device
+// fails unrecoverably; claimed-but-unused buffers are always recycled.
+func (r *Reader) Run(io exec.Proc) {
+	pages := r.Pages
+	var batch [ClaimBatch]*Buffer
+	bn, bi := 0, 0
+	i := 0
+	for i < len(pages) && !r.Latch.Failed() {
+		var buf *Buffer
+		if r.Batched {
+			if bi == bn {
+				bn = r.Free.PopBatch(io, batch[:])
+				bi = 0
+				if bn == 0 {
+					break
+				}
+				// The pop may have blocked while another proc failed;
+				// recheck before issuing more IO.
+				if r.Latch.Failed() {
+					break
+				}
+			}
+			buf = batch[bi]
+			bi++
+		} else {
+			b, ok := r.Free.Pop(io)
+			if !ok || r.Latch.Failed() {
+				if ok {
+					r.Free.Push(io, b)
+				}
+				break
+			}
+			buf = b
+		}
+		buf.Dev = r.Dev
+		buf.Start = pages[i]
+		buf.NumPages = 1
+		// Page-cache hit: serve the single page from memory, no device
+		// time.
+		if r.Probe != nil && r.Probe(io, buf) {
+			io.Advance(r.HitCost)
+			r.Filled.Push(io, buf)
+			i++
+			continue
+		}
+		n, next := r.Merge(pages, i)
+		buf.NumPages = n
+		io.Advance(r.SubmitCost(n))
+		done, err := r.Device.ScheduleRead(io, pages[i], n, buf.Data[:n*ssd.PageSize])
+		if err != nil {
+			// Unrecoverable read (retries exhausted or permanent): latch
+			// the failure, hand the buffer back, and stop this device's
+			// stream.
+			r.Latch.Fail(r.WrapErr(err))
+			if r.Batched {
+				bi--
+			} else {
+				r.Free.Push(io, buf)
+			}
+			break
+		}
+		if r.Fill != nil {
+			r.Fill(io, buf)
+		}
+		r.Filled.PushAt(io, buf, done)
+		i = next
+	}
+	if bi < bn {
+		r.Free.PushN(io, batch[bi:bn])
+	}
+}
+
+// Start spawns one proc per reader (in order, so virtual-time scheduling
+// is reproducible) and arranges wg.Done on completion. The caller must
+// have wg.Add(len(readers))'d already.
+func Start(ctx exec.Context, wg exec.WaitGroup, readers []*Reader) {
+	for _, r := range readers {
+		r := r
+		ctx.Go(r.Name, func(io exec.Proc) {
+			r.Run(io)
+			wg.Done(io)
+		})
+	}
+}
+
+// CloseAfter spawns a closer proc that ends the filled stream once every
+// reader counted in wg has finished, releasing sinks blocked on an empty
+// queue.
+func CloseAfter(ctx exec.Context, name string, wg exec.WaitGroup, filled exec.Queue[*Buffer]) {
+	ctx.Go(name, func(cp exec.Proc) {
+		wg.Wait(cp)
+		filled.Close()
+	})
+}

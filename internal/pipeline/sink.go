@@ -1,0 +1,43 @@
+package pipeline
+
+import "blaze/internal/exec"
+
+// Drain is the sink-side consumption loop shared by every engine's compute
+// procs: pop filled buffers until the stream closes, process each one, and
+// recycle every buffer back to the free queue — including after a latched
+// failure, so readers blocked on an empty free queue always wake and the
+// pipeline drains instead of deadlocking. With batched=true items move in
+// ClaimBatch groups per lock acquisition on the real-time backend (the
+// virtual-time queue still transfers one per call).
+func Drain(p exec.Proc, free, filled exec.Queue[*Buffer], latch *exec.Latch, batched bool, process func(buf *Buffer)) {
+	if batched {
+		var batch [ClaimBatch]*Buffer
+		for {
+			n := filled.PopBatch(p, batch[:])
+			if n == 0 {
+				return
+			}
+			for _, buf := range batch[:n] {
+				// After a failure, recycle without processing: the data may
+				// be absent or partial.
+				if latch.Failed() {
+					continue
+				}
+				process(buf)
+			}
+			free.PushN(p, batch[:n])
+		}
+	}
+	for {
+		buf, ok := filled.Pop(p)
+		if !ok {
+			return
+		}
+		if latch.Failed() {
+			free.Push(p, buf)
+			continue
+		}
+		process(buf)
+		free.Push(p, buf)
+	}
+}

@@ -1,0 +1,203 @@
+// Package registry names the EdgeMap engines and constructs any of them
+// as an algo.System from one set of common options. Every entry point that
+// selects an engine — the cmd tools' -engine flag, the benchmark harness,
+// the examples — goes through this one table, so a new engine becomes
+// available everywhere with a sink implementation plus one Register call.
+//
+// Registered engines:
+//
+//	blaze       the online-binning engine (the paper's system)
+//	blaze-sync  the synchronization-based variant ("sync" is an alias)
+//	flashgraph  the FlashGraph-style message-passing baseline
+//	graphene    the Graphene-style paired IO/compute baseline
+//	inmem       the Ligra-style in-core engine (no IO; needs adjacency
+//	            in memory, as do graphene's self-placed devices)
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"blaze/algo"
+	"blaze/internal/baseline/flashgraph"
+	"blaze/internal/baseline/graphene"
+	"blaze/internal/costmodel"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/inmem"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+	"blaze/internal/syncvar"
+)
+
+// Options is the engine-independent configuration surface. Zero values
+// mean "engine default": 16 workers, 0.5 scatter ratio, one device, the
+// Optane profile, the default cost model.
+type Options struct {
+	// Edges sizes the Blaze bin-space heuristic (~5 bytes/edge); pass the
+	// graph's edge count.
+	Edges int64
+	// Workers is the computation thread budget (split scatter/gather for
+	// blaze, message owners for flashgraph, halved into IO+compute pairs
+	// for graphene).
+	Workers int
+	// Ratio is Blaze's scatter fraction of Workers.
+	Ratio float64
+	// NumDev is the device count (graphene builds its own devices; the
+	// others read the graph's striped array).
+	NumDev int
+	// Profile is the modeled device, for engines that build devices.
+	Profile ssd.Profile
+	// Model overrides the cost model (nil = costmodel.Default()).
+	Model *costmodel.Model
+	// Stats receives IO accounting; Mem receives memory accounting.
+	Stats *metrics.IOStats
+	Mem   *metrics.MemAccount
+
+	// BinCount / BinSpaceBytes / IOBufferBytes override Blaze's binning
+	// and IO budget (0 = defaults).
+	BinCount      int
+	BinSpaceBytes int64
+	IOBufferBytes int64
+	// CacheBytes overrides flashgraph's LRU page-cache budget (0 = its
+	// 64 MB default); PageCache optionally puts a cache in front of the
+	// blaze engines.
+	CacheBytes int64
+	PageCache  *pagecache.Cache
+	// Pool retains blaze IO/bin buffers across EdgeMap rounds (real-time
+	// backend only).
+	Pool *engine.Pool
+	// DevOpts configures devices the engine builds itself (graphene).
+	DevOpts []ssd.DeviceOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 16
+	}
+	if o.Ratio == 0 {
+		o.Ratio = 0.5
+	}
+	if o.NumDev == 0 {
+		o.NumDev = 1
+	}
+	if o.Profile.RandBytesPerSec == 0 {
+		o.Profile = ssd.OptaneSSD
+	}
+	return o
+}
+
+func (o Options) model() costmodel.Model {
+	if o.Model != nil {
+		return *o.Model
+	}
+	return costmodel.Default()
+}
+
+// BlazeConfig is the shared engine.Config construction for the blaze and
+// blaze-sync entries.
+func (o Options) BlazeConfig() engine.Config {
+	cfg := engine.DefaultConfig(o.Edges).WithThreads(o.Workers, o.Ratio)
+	cfg.Model = o.model()
+	cfg.Stats = o.Stats
+	cfg.Mem = o.Mem
+	cfg.Pool = o.Pool
+	cfg.PageCache = o.PageCache
+	if o.BinCount > 0 {
+		cfg.BinCount = o.BinCount
+	}
+	if o.BinSpaceBytes > 0 {
+		cfg.BinSpaceBytes = o.BinSpaceBytes
+	}
+	if o.IOBufferBytes > 0 {
+		cfg.IOBufferBytes = o.IOBufferBytes
+	}
+	return cfg
+}
+
+// Builder constructs one engine from the common options.
+type Builder func(ctx exec.Context, o Options) algo.System
+
+// Info is one registry entry.
+type Info struct {
+	New Builder
+	// NeedsAdjacency marks engines that read the CSR adjacency from DRAM
+	// (the in-core traversal, graphene's self-placed devices): loaders
+	// must attach c.Adj before running them on a file-backed graph.
+	NeedsAdjacency bool
+}
+
+var engines = map[string]Info{}
+
+// Register adds an engine under name; a sixth engine needs only its sink
+// implementation and this one call. Duplicate names panic at init time.
+func Register(name string, info Info) {
+	if _, dup := engines[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate engine %q", name))
+	}
+	engines[name] = info
+}
+
+// New constructs the named engine. Unknown names list the alternatives.
+func New(name string, ctx exec.Context, o Options) (algo.System, error) {
+	e, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown engine %q (have %v)", name, Names())
+	}
+	return e.New(ctx, o.withDefaults()), nil
+}
+
+// NeedsAdjacency reports whether the named engine requires in-memory
+// adjacency; unknown names report false (New will fail anyway).
+func NeedsAdjacency(name string) bool {
+	return engines[name].NeedsAdjacency
+}
+
+// Names returns the registered engine names, sorted, aliases included.
+func Names() []string {
+	names := make([]string, 0, len(engines))
+	for n := range engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("blaze", Info{New: func(ctx exec.Context, o Options) algo.System {
+		return algo.NewBlaze(ctx, o.BlazeConfig())
+	}})
+	sync := Info{New: func(ctx exec.Context, o Options) algo.System {
+		return syncvar.New(ctx, o.BlazeConfig())
+	}}
+	Register("blaze-sync", sync)
+	Register("sync", sync) // historical harness name
+	Register("flashgraph", Info{New: func(ctx exec.Context, o Options) algo.System {
+		cfg := flashgraph.DefaultConfig()
+		cfg.ComputeWorkers = o.Workers
+		cfg.Model = o.model()
+		cfg.Stats = o.Stats
+		if o.CacheBytes > 0 {
+			cfg.CacheBytes = o.CacheBytes
+		}
+		return flashgraph.New(ctx, cfg)
+	}})
+	Register("graphene", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
+		cfg := graphene.DefaultConfig(o.NumDev)
+		cfg.Pairs = o.Workers / 2
+		if cfg.Pairs < 1 {
+			cfg.Pairs = 1
+		}
+		cfg.Model = o.model()
+		cfg.Stats = o.Stats
+		cfg.DevOpts = o.DevOpts
+		return graphene.New(ctx, cfg, o.Profile)
+	}})
+	Register("inmem", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
+		cfg := inmem.DefaultConfig()
+		cfg.Workers = o.Workers
+		cfg.Model = o.model()
+		return inmem.New(ctx, cfg)
+	}})
+}

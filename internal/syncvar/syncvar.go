@@ -6,6 +6,10 @@
 // high-in-degree vertices keeps the device underutilized on
 // computation-heavy queries — the effect online binning exists to remove.
 //
+// The storage side (page frontier, per-device readers, buffer queues,
+// drain-and-recycle shutdown) comes entirely from internal/pipeline; this
+// package only contributes the inline-atomic compute sink.
+//
 // The variant runs under the virtual-time backend for measurement; under
 // the real-time backend the serialized gather-per-vertex guarantee does not
 // hold, so the benchmark harness always drives it through exec.Sim, where
@@ -19,6 +23,7 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
+	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
 )
 
@@ -43,13 +48,6 @@ func (s *System) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32
 	return engine.VertexMap(p, f, fn, s.Cfg)
 }
 
-type ioBuffer struct {
-	data       []byte
-	dev        int
-	localStart int64
-	numPages   int
-}
-
 // EdgeMap implements algo.System: the same page pipeline as Blaze, with
 // inline atomic gathers on the computation procs instead of bins. It fails
 // cleanly like the binning engine: on the first unrecoverable device error
@@ -64,8 +62,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ScatterProcs + cfg.GatherProcs
 
-	f.Seal()
-	ps := frontier.PagesOf(f, c, numDev)
+	ps := pipeline.PageSource(ctx, p, f, c, numDev, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
 	if ps.Pages() == 0 {
 		if !output {
@@ -74,59 +71,33 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		return frontier.NewVertexSubset(c.V), nil
 	}
 
-	bufPages := cfg.MaxMergePages
-	bufCount := int(cfg.IOBufferBytes / int64(bufPages*ssd.PageSize))
-	if bufCount < 2*numDev {
-		bufCount = 2 * numDev
-	}
-	if int64(bufCount) > ps.Pages()+int64(2*numDev) {
-		bufCount = int(ps.Pages()) + 2*numDev
-	}
-	free := exec.NewQueue[*ioBuffer](ctx, bufCount)
-	filled := exec.NewQueue[*ioBuffer](ctx, bufCount)
-	for i := 0; i < bufCount; i++ {
-		free.Push(p, &ioBuffer{data: make([]byte, bufPages*ssd.PageSize)})
-	}
+	bufLen := cfg.MaxMergePages * ssd.PageSize
+	bufCount := pipeline.BufferCount(cfg.IOBufferBytes, bufLen, numDev, ps.Pages())
+	free, filled := pipeline.NewQueues(ctx, bufCount)
+	pipeline.Stock(p, free, bufCount, bufLen)
 
 	ab := &exec.Latch{}
+	readers := make([]*pipeline.Reader, numDev)
+	for d := 0; d < numDev; d++ {
+		readers[d] = &pipeline.Reader{
+			Name:       fmt.Sprintf("sync-io%d", d),
+			Device:     g.Arr.Device(d),
+			Dev:        d,
+			Pages:      ps.PerDev[d],
+			Free:       free,
+			Filled:     filled,
+			Latch:      ab,
+			Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
+			SubmitCost: m.IOSubmit,
+			WrapErr: func(err error) error {
+				return fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err)
+			},
+		}
+	}
 	ioWG := ctx.NewWaitGroup()
 	ioWG.Add(numDev)
-	for d := 0; d < numDev; d++ {
-		dev := d
-		pages := ps.PerDev[d]
-		ctx.Go(fmt.Sprintf("sync-io%d", dev), func(io exec.Proc) {
-			device := g.Arr.Device(dev)
-			i := 0
-			for i < len(pages) && !ab.Failed() {
-				run := 1
-				for run < cfg.MaxMergePages && i+run < len(pages) && pages[i+run] == pages[i]+int64(run) {
-					run++
-				}
-				buf, ok := free.Pop(io)
-				if !ok || ab.Failed() {
-					if ok {
-						free.Push(io, buf)
-					}
-					break
-				}
-				buf.dev, buf.localStart, buf.numPages = dev, pages[i], run
-				io.Advance(m.IOSubmit(run))
-				done, err := device.ScheduleRead(io, pages[i], run, buf.data[:run*ssd.PageSize])
-				if err != nil {
-					ab.Fail(fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err))
-					free.Push(io, buf)
-					break
-				}
-				filled.PushAt(io, buf, done)
-				i += run
-			}
-			ioWG.Done(io)
-		})
-	}
-	ctx.Go("sync-io-closer", func(cp exec.Proc) {
-		ioWG.Wait(cp)
-		filled.Close()
-	})
+	pipeline.Start(ctx, ioWG, readers)
+	pipeline.CloseAfter(ctx, "sync-io-closer", ioWG, filled)
 
 	// Combined scatter+apply procs: every update pays the atomic penalty,
 	// plus modeled cache-line contention on the hot-edge fraction whenever
@@ -146,19 +117,10 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			if output {
 				out = frontier.NewVertexSubset(c.V)
 			}
-			for {
-				buf, ok := filled.Pop(wp)
-				if !ok {
-					break
-				}
-				if ab.Failed() {
-					// Drain-and-recycle so blocked IO procs wake.
-					free.Push(wp, buf)
-					continue
-				}
-				for pg := 0; pg < buf.numPages; pg++ {
-					logical := g.Arr.Logical(buf.dev, buf.localStart+int64(pg))
-					pageData := buf.data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
+			pipeline.Drain(wp, free, filled, ab, false, func(buf *pipeline.Buffer) {
+				for pg := 0; pg < buf.NumPages; pg++ {
+					logical := g.Arr.Logical(buf.Dev, buf.Start+int64(pg))
+					pageData := buf.Data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
 					var produced int64
 					// wp.Sync() orders the inline updates across procs in
 					// virtual time; under Sim procs run one at a time, so
@@ -179,8 +141,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 						m.EdgeScan*edges +
 						(updCost+hotExtra)*produced)
 				}
-				free.Push(wp, buf)
-			}
+			})
 			outFronts[id] = out
 			wg.Done(wp)
 		})
@@ -194,10 +155,5 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	if !output {
 		return nil, nil
 	}
-	merged := frontier.NewVertexSubset(c.V)
-	for _, of := range outFronts {
-		merged.Merge(of)
-	}
-	merged.Seal()
-	return merged, nil
+	return pipeline.MergeFrontiers(c.V, outFronts), nil
 }
