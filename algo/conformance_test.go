@@ -16,6 +16,7 @@ import (
 	"blaze/internal/graph"
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // conformanceEngines are the registry entries under test; the "sync"
@@ -41,6 +42,13 @@ func randomCSR(seed uint64, nEdges int) *graph.CSR {
 // and graph pair, so engines cannot observe each other's state.
 func sysOn(t *testing.T, name string, c *graph.CSR, devOpts ...ssd.DeviceOptions) (exec.Context, algo.System, *engine.Graph, *engine.Graph) {
 	t.Helper()
+	return sysTraced(t, name, c, nil, devOpts...)
+}
+
+// sysTraced is sysOn with an optional tracer threaded through the registry,
+// for tests that compare traced and untraced executions.
+func sysTraced(t *testing.T, name string, c *graph.CSR, tr *trace.Tracer, devOpts ...ssd.DeviceOptions) (exec.Context, algo.System, *engine.Graph, *engine.Graph) {
+	t.Helper()
 	ctx := exec.NewSim()
 	out := engine.FromCSR(ctx, "conf", c, 1, ssd.OptaneSSD, nil, nil, devOpts...)
 	in := engine.FromCSR(ctx, "conf.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil, devOpts...)
@@ -50,6 +58,7 @@ func sysOn(t *testing.T, name string, c *graph.CSR, devOpts ...ssd.DeviceOptions
 		NumDev:  1,
 		Profile: ssd.OptaneSSD,
 		DevOpts: devOpts,
+		Tracer:  tr,
 	})
 	if err != nil {
 		t.Fatalf("registry.New(%q): %v", name, err)
@@ -143,6 +152,55 @@ func TestConformancePageRank(t *testing.T) {
 		for v := range base {
 			if math.Abs(rank[v]-base[v]) > 1e-6*math.Max(1, math.Abs(base[v])) {
 				t.Fatalf("%s: rank[%d] = %g, blaze has %g", name, v, rank[v], base[v])
+			}
+		}
+	}
+}
+
+// TestConformanceTraced: tracing must be observationally free. Every engine
+// run with a live tracer attached must produce exactly the same BFS parent
+// array AND the same virtual makespan as the untraced run — both on a clean
+// device and while transient faults trigger the retry path (which emits
+// dev-retry instants). Any divergence means trace emission called into the
+// scheduler and perturbed the modeled timeline.
+func TestConformanceTraced(t *testing.T) {
+	c := randomCSR(13, 900)
+	transient := fault.Policy{Seed: 4, TransientRate: 0.2, TransientFails: 1}.DeviceOptions()
+	cases := []struct {
+		label string
+		opts  []ssd.DeviceOptions
+	}{
+		{"clean", nil},
+		{"transient", []ssd.DeviceOptions{transient}},
+	}
+	for _, tc := range cases {
+		for _, name := range conformanceEngines {
+			run := func(tr *trace.Tracer) ([]int64, int64) {
+				ctx, sys, g, _ := sysTraced(t, name, c, tr, tc.opts...)
+				var parent []int64
+				ctx.Run("main", func(p exec.Proc) {
+					parent = algo.Must(algo.BFS(sys, p, g, 0))
+				})
+				return parent, ctx.(*exec.Sim).End
+			}
+			plain, plainEnd := run(nil)
+			tr := trace.New(trace.Config{})
+			traced, tracedEnd := run(tr)
+			if len(plain) != len(traced) {
+				t.Fatalf("%s/%s: result length changed under tracing", tc.label, name)
+			}
+			for v := range plain {
+				if plain[v] != traced[v] {
+					t.Errorf("%s/%s: parent[%d] = %d untraced, %d traced", tc.label, name, v, plain[v], traced[v])
+					break
+				}
+			}
+			if plainEnd != tracedEnd {
+				t.Errorf("%s/%s: tracing perturbed the makespan: %d ns untraced, %d ns traced",
+					tc.label, name, plainEnd, tracedEnd)
+			}
+			if got := tr.Collect().Events(); got == 0 {
+				t.Errorf("%s/%s: traced run collected no events", tc.label, name)
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"blaze/internal/metrics"
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Queries in paper order.
@@ -36,6 +37,10 @@ type Opts struct {
 	TimelineBucketNs int64
 	// Model overrides the cost model (zero value = Default).
 	Model *costmodel.Model
+	// Tracer, when non-nil, attaches per-proc trace rings to the engine's
+	// pipeline stages; enable it before Run to collect spans (Run leaves
+	// collection to the caller).
+	Tracer *trace.Tracer
 }
 
 // Result is one measured run.
@@ -117,6 +122,7 @@ func Run(d *Dataset, o Opts) Result {
 		BinCount:      o.BinCount,
 		BinSpaceBytes: o.BinSpace,
 		IOBufferBytes: o.IOBufBytes,
+		Tracer:        o.Tracer,
 	}
 	// FlashGraph's page cache (1 GB on the paper's testbed) must scale
 	// with the datasets, or it would swallow the scaled graphs whole
@@ -171,6 +177,18 @@ func Run(d *Dataset, o Opts) Result {
 	res.IterBytes = sys.IterDeviceBytes()
 	mem.Set("algo-arrays", res.AlgoBytes)
 	return res
+}
+
+// TraceRun executes one measurement like Run with tracing enabled and
+// returns the result together with the collected trace. The run is as
+// deterministic as any other sim measurement, so the emitted span stream is
+// byte-stable across hosts (what the trace golden test checks).
+func TraceRun(d *Dataset, o Opts) (Result, *trace.Trace) {
+	t := trace.New(trace.Config{})
+	t.SetEnabled(true)
+	o.Tracer = t
+	res := Run(d, o)
+	return res, t.Collect()
 }
 
 func maxInt(a, b int) int {

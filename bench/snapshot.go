@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
 )
 
 // SnapshotEntry is one engine×query measurement in the pipeline perf
@@ -48,11 +49,29 @@ func Snapshot(scale float64) ([]SnapshotEntry, error) {
 			})
 		}
 	}
+	SortSnapshot(entries)
 	return entries, nil
 }
 
-// WriteSnapshot writes the snapshot entries as indented JSON to path.
+// SortSnapshot orders entries by (engine, query, graph) so snapshot files
+// diff cleanly regardless of the order measurements were taken in.
+func SortSnapshot(entries []SnapshotEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Graph < b.Graph
+	})
+}
+
+// WriteSnapshot writes the snapshot entries as indented JSON to path,
+// sorted by (engine, query, graph) for deterministic output.
 func WriteSnapshot(path string, entries []SnapshotEntry) error {
+	SortSnapshot(entries)
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err

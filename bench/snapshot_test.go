@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// shuffledEntries is a fixed worst-case ordering: reverse-sorted plus
+// duplicates interleaved, covering all three sort keys.
+func shuffledEntries() []SnapshotEntry {
+	return []SnapshotEntry{
+		{Engine: "graphene", Query: "pr", Graph: "r2", MakespanNs: 7},
+		{Engine: "blaze", Query: "pr", Graph: "r2", MakespanNs: 2},
+		{Engine: "flashgraph", Query: "bfs", Graph: "t2", MakespanNs: 5},
+		{Engine: "blaze", Query: "bfs", Graph: "r2", MakespanNs: 1},
+		{Engine: "flashgraph", Query: "bfs", Graph: "r2", MakespanNs: 4},
+		{Engine: "graphene", Query: "bfs", Graph: "r2", MakespanNs: 6},
+		{Engine: "blaze-sync", Query: "bfs", Graph: "r2", MakespanNs: 3},
+	}
+}
+
+// TestSortSnapshot pins the (engine, query, graph) ordering that makes
+// snapshot files diff cleanly run over run.
+func TestSortSnapshot(t *testing.T) {
+	entries := shuffledEntries()
+	SortSnapshot(entries)
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Graph < b.Graph
+	}) {
+		t.Fatalf("SortSnapshot left entries unsorted: %+v", entries)
+	}
+	// The makespans encode the expected final order 1..7.
+	for i, e := range entries {
+		if e.MakespanNs != int64(i+1) {
+			t.Fatalf("position %d holds entry %+v, want makespan %d", i, e, i+1)
+		}
+	}
+}
+
+// TestWriteSnapshotDeterministic: writing the same measurements in any
+// input order produces byte-identical files, the property the CI perf
+// snapshot relies on to diff against a stored baseline.
+func TestWriteSnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	shuffled := filepath.Join(dir, "shuffled.json")
+	ordered := filepath.Join(dir, "ordered.json")
+	if err := WriteSnapshot(shuffled, shuffledEntries()); err != nil {
+		t.Fatal(err)
+	}
+	pre := shuffledEntries()
+	SortSnapshot(pre)
+	if err := WriteSnapshot(ordered, pre); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot bytes depend on input order:\n%s\nvs\n%s", a, b)
+	}
+	var entries []SnapshotEntry
+	if err := json.Unmarshal(a, &entries); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(entries) != len(pre) || entries[0].Engine != "blaze" || entries[0].Query != "bfs" {
+		t.Fatalf("unexpected decoded snapshot head: %+v", entries[:1])
+	}
+}

@@ -9,7 +9,14 @@
 //	blaze-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	blaze-bench -exp fig8 -faultTransientRate 0.001  # failure drill
 //	blaze-bench -snapshot BENCH_pipeline.json        # CI perf snapshot
+//	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
+//
+// The -trace flag runs one traced measurement (engine and query selected
+// with -trace-engine/-trace-query) and writes a Chrome trace_event JSON
+// timeline loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing; -stage-stats prints the per-stage summary, whose phase
+// totals reconstruct the makespan.
 //
 // The -fault* flags inject deterministic device faults (see internal/fault)
 // and -retryMax/-retryBackoffNs override the device retry policy; both
@@ -32,6 +39,7 @@ import (
 
 	"blaze/bench"
 	"blaze/internal/cli"
+	"blaze/internal/trace"
 )
 
 func main() {
@@ -47,6 +55,10 @@ func run() (code int) {
 	out := flag.String("out", "results", "output directory for CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
 	snapshot := flag.String("snapshot", "", "write a short-sim pipeline perf snapshot (makespan + allocs per engine) to this JSON file and exit")
+	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
+	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
+	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
+	traceQuery := flag.String("trace-query", "bfs", "query for the traced run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fo := &cli.Options{}
@@ -63,6 +75,29 @@ func run() (code int) {
 	if fo.FaultPolicy().Enabled() || fo.RetryMax >= 0 || fo.RetryBackoffNs > 0 {
 		bench.DeviceOpts = fo.DeviceOptions()
 		fmt.Fprintln(os.Stderr, "note: fault injection / retry overrides active; outputs will diverge from the paper figures")
+	}
+
+	if *traceOut != "" || *stageStats {
+		d, err := bench.Load("r2", *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		res, tr := bench.TraceRun(d, bench.Opts{System: *traceEngine, Query: *traceQuery, PRIters: 5})
+		fmt.Printf("%s %s on %s: makespan=%.3fms read=%.1fMB events=%d\n",
+			*traceEngine, *traceQuery, d.Preset.Short,
+			float64(res.ElapsedNs)/1e6, float64(res.ReadBytes)/1e6, tr.Events())
+		if *traceOut != "" {
+			if err := cli.WriteTrace(*traceOut, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return 1
+			}
+			fmt.Printf("trace written to %s (open in Perfetto: https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *stageStats {
+			trace.Summarize(tr).Fprint(os.Stdout)
+		}
+		return 0
 	}
 
 	if *snapshot != "" {

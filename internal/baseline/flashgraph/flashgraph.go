@@ -28,6 +28,7 @@ import (
 	"blaze/internal/pagecache"
 	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Config parameterizes the baseline.
@@ -40,6 +41,9 @@ type Config struct {
 	IOBufferBytes int64
 	Model         costmodel.Model
 	Stats         *metrics.IOStats
+	// Tracer, when non-nil, attaches per-proc trace rings to the pipeline
+	// stages (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's 16-thread comparison setup with a
@@ -122,8 +126,19 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ComputeWorkers
 
+	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	var t0 int64
+	if ctr.Active() {
+		t0 = p.Now()
+	}
+
 	ps := pipeline.PageSource(ctx, p, f, c, numDev, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
+	if ctr.Active() {
+		t1 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t1, int64(trace.PhaseSource))
+		t0 = t1
+	}
 	if ps.Pages() == 0 {
 		if !output {
 			return nil, nil
@@ -163,6 +178,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				io.Sync()
 				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.Data)
 			},
+			Tracer: cfg.Tracer,
 			WrapErr: func(err error) error {
 				return fmt.Errorf("flashgraph: edgemap on %q: %w", g.Name, err)
 			},
@@ -181,6 +197,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("fg-scatter%d", id), func(sp exec.Proc) {
+			cfg.Tracer.Attach(sp, trace.StageScatter, int32(id))
 			local := make([][]message, workers)
 			flush := func(o int) {
 				if len(local[o]) == 0 {
@@ -216,6 +233,11 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	scatterWG.Wait(p)
 	free.Close()
 	filled.Close()
+	if ctr.Active() {
+		t2 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t2, int64(trace.PhasePipeline))
+		t0 = t2
+	}
 	if err := ab.Err(); err != nil {
 		// The iteration barrier was never reached: drop the queued messages
 		// and report the failure before the processing phase starts.
@@ -242,16 +264,24 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("fg-process%d", id), func(pp exec.Proc) {
+			ptr := cfg.Tracer.Attach(pp, trace.StageGather, int32(id))
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)
 			}
 			mine := msgs[id]
+			var from int64
+			if ptr.Active() {
+				from = pp.Now()
+			}
 			pp.Advance(int64(len(mine)) * updCost)
 			for _, msg := range mine {
 				if fns.Gather(msg.dst, msg.val) && output {
 					out.Add(msg.dst)
 				}
+			}
+			if ptr.Active() {
+				ptr.Span(trace.OpGatherBin, int32(id), from, pp.Now(), int64(len(mine)))
 			}
 			outFronts[id] = out
 			procWG.Done(pp)
@@ -262,9 +292,16 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		debugPhase("process-end", p.Now())
 	}
 	if !output {
+		if ctr.Active() {
+			ctr.Span(trace.OpPhase, -1, t0, p.Now(), int64(trace.PhaseMerge))
+		}
 		return nil, nil
 	}
-	return pipeline.MergeFrontiers(c.V, outFronts), nil
+	merged := pipeline.MergeFrontiers(c.V, outFronts)
+	if ctr.Active() {
+		ctr.Span(trace.OpPhase, -1, t0, p.Now(), int64(trace.PhaseMerge))
+	}
+	return merged, nil
 }
 
 // debugMsgHist, when set by tests, receives the per-owner message counts

@@ -32,6 +32,7 @@ import (
 	"blaze/internal/metrics"
 	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Config parameterizes the baseline.
@@ -58,6 +59,9 @@ type Config struct {
 	// DevOpts configures the baseline's own devices (fault injection,
 	// retry policy); empty means stock devices.
 	DevOpts []ssd.DeviceOptions
+	// Tracer, when non-nil, attaches per-proc trace rings to the pipeline
+	// stages (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's 16-thread setup on nssd devices.
@@ -168,9 +172,20 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	c := g.CSR
 	pl := s.placementFor(g)
 
+	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	var t0 int64
+	if ctr.Active() {
+		t0 = p.Now()
+	}
+
 	// Active logical pages, ascending, then routed to owning pairs.
 	all := pipeline.PageSource(ctx, p, f, c, 1, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(2*cfg.Pairs))
+	if ctr.Active() {
+		t1 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t1, int64(trace.PhaseSource))
+		t0 = t1
+	}
 	if all.Pages() == 0 {
 		if !output {
 			return nil, nil
@@ -212,6 +227,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			// at MaxIOPages, never across a partition boundary.
 			Merge:      pipeline.MergeGaps(cfg.MaxIOPages, cfg.GapMergePages, pl.pagesPerPart),
 			SubmitCost: m.IOSubmit,
+			Tracer:     cfg.Tracer,
 			WrapErr: func(err error) error {
 				return fmt.Errorf("graphene: edgemap on %q: %w", g.Name, err)
 			},
@@ -219,10 +235,12 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		// No shared closer proc: each pair's IO proc ends its own filled
 		// stream, releasing exactly its paired compute proc.
 		ctx.Go(r.Name, func(io exec.Proc) {
+			cfg.Tracer.Attach(io, trace.StageIO, int32(r.Dev))
 			r.Run(io)
 			filled.Close()
 		})
 		ctx.Go(fmt.Sprintf("gr-compute%d", pair), func(cp exec.Proc) {
+			cfg.Tracer.Attach(cp, trace.StageCompute, int32(pair))
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)
@@ -253,13 +271,22 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for _, free := range frees {
 		free.Close()
 	}
+	if ctr.Active() {
+		t2 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t2, int64(trace.PhasePipeline))
+		t0 = t2
+	}
 	if err := ab.Err(); err != nil {
 		return nil, err
 	}
 	if !output {
 		return nil, nil
 	}
-	return pipeline.MergeFrontiers(c.V, outFronts), nil
+	merged := pipeline.MergeFrontiers(c.V, outFronts)
+	if ctr.Active() {
+		ctr.Span(trace.OpPhase, -1, t0, p.Now(), int64(trace.PhaseMerge))
+	}
+	return merged, nil
 }
 
 // DeviceBytes exposes per-device totals (via Stats).

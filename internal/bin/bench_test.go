@@ -4,17 +4,23 @@ import (
 	"testing"
 
 	"blaze/internal/exec"
+	"blaze/internal/trace"
 )
 
-// BenchmarkStagerEmit measures the scatter hot path: staging one record,
+// runStagerEmit measures the scatter hot path: staging one record,
 // including its amortized share of stage flushes into bin buffers. Bin
 // space is sized so buffers never fill (no gather proc needed), which is
 // exactly the steady state inside one EdgeMap round. The Emit path must be
 // allocation-free and atomic-free after warm-up.
-func BenchmarkStagerEmit(b *testing.B) {
+//
+// When tr is non-nil its ring is attached to the emitting proc, so the
+// flush path runs the ring lookup and enabled check — the disabled-tracing
+// cost the CI overhead gate bounds against the no-ring baseline.
+func runStagerEmit(b *testing.B, tr *trace.Tracer) {
 	b.ReportAllocs()
 	ctx := exec.NewReal()
 	ctx.Run("main", func(p exec.Proc) {
+		tr.Attach(p, trace.StageScatter, 0)
 		m := NewManager[int64](ctx, Config{
 			BinCount:    1024,
 			SpaceBytes:  1 << 30, // buffers never fill within one run
@@ -49,4 +55,19 @@ func BenchmarkStagerEmit(b *testing.B) {
 			b.Fatalf("emits = %d, want >= %d", got, b.N)
 		}
 	})
+}
+
+// BenchmarkStagerEmit is the untraced baseline: no ring attached.
+func BenchmarkStagerEmit(b *testing.B) {
+	runStagerEmit(b, nil)
+}
+
+// BenchmarkStagerEmitRingAttached runs the same loop with a trace ring
+// attached but the tracer disabled — the configuration every production run
+// without -trace is in. Compare against BenchmarkStagerEmit to see the
+// disabled-tracing overhead; TestTraceOverheadGate enforces the bound in CI.
+func BenchmarkStagerEmitRingAttached(b *testing.B) {
+	tr := trace.New(trace.Config{})
+	tr.SetEnabled(false)
+	runStagerEmit(b, tr)
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"blaze/internal/exec"
+	"blaze/internal/trace"
 )
 
 // StageCap is the per-bin capacity (in records) of each scatter proc's
@@ -209,6 +210,7 @@ func (m *Manager[V]) flushBin(p exec.Proc, b int, recs []Record[V]) {
 	if !ok {
 		panic(fmt.Sprintf("bin: slot queue of bin %d closed during flush", b))
 	}
+	tr := trace.RingOf(p)
 	for len(recs) > 0 {
 		space := m.bufCap - len(buf.Records)
 		n := len(recs)
@@ -226,6 +228,11 @@ func (m *Manager[V]) flushBin(p exec.Proc, b int, recs []Record[V]) {
 				panic(fmt.Sprintf("bin: empty queue of bin %d closed during flush", b))
 			}
 			m.Full.Push(p, buf)
+			if tr.Active() {
+				now := p.Now()
+				tr.Instant(trace.OpBinFlush, int32(b), now, int64(m.bufCap))
+				tr.Counter(trace.OpFullLen, 0, now, int64(m.Full.Len()))
+			}
 			spare.Records = spare.Records[:0]
 			buf = spare
 		}
@@ -251,6 +258,9 @@ func (m *Manager[V]) FlushPartials(p exec.Proc) {
 			panic(fmt.Sprintf("bin: empty queue of bin %d closed during final flush", b))
 		}
 		m.Full.Push(p, buf)
+		if tr := trace.RingOf(p); tr.Active() {
+			tr.Instant(trace.OpBinFlush, int32(b), p.Now(), int64(len(buf.Records)))
+		}
 		spare.Records = spare.Records[:0]
 		m.slot[b].Push(p, spare)
 	}

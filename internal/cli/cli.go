@@ -28,6 +28,7 @@ import (
 	"blaze/internal/pagecache"
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Options holds the parsed command line.
@@ -48,6 +49,13 @@ type Options struct {
 	InAdj          string
 	IndexPath      string
 	AdjPath        string
+
+	// Trace writes a Chrome trace_event JSON timeline of the run to the
+	// given file (loadable in Perfetto / chrome://tracing); StageStats
+	// prints the per-stage summary after the query. Either one enables the
+	// tracer.
+	Trace      string
+	StageStats bool
 
 	// Fault-injection knobs (testing/chaos runs; all default off).
 	FaultSeed           uint64
@@ -106,6 +114,8 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.IntVar(&o.MaxIters, "maxIters", 20, "iteration cap for iterative queries (pr)")
 	fs.Float64Var(&o.Epsilon, "epsilon", 0.001, "PageRank-delta activation threshold")
 	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "LRU page cache size in MB (0 = off, the paper's configuration)")
+	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+	fs.BoolVar(&o.StageStats, "stageStats", false, "print the per-stage trace summary after the query")
 	fs.StringVar(&o.InIndex, "inIndexFilename", "", "transpose graph index file")
 	fs.StringVar(&o.InAdj, "inAdjFilenames", "", "transpose graph adjacency file")
 	fs.Uint64Var(&o.FaultSeed, "faultSeed", 1, "fault-injection seed (deterministic per page)")
@@ -158,6 +168,12 @@ type Env struct {
 	In    *engine.Graph // nil unless transpose inputs were given
 	Sys   algo.System
 	start time.Time
+
+	// Tracer is non-nil when -trace or -stageStats was given; Report
+	// collects it and writes the requested outputs.
+	Tracer     *trace.Tracer
+	tracePath  string
+	stageStats bool
 }
 
 // Setup loads the graphs and builds the engine selected by -engine
@@ -210,6 +226,12 @@ func Setup(o *Options) (*Env, error) {
 	if o.PageCacheMB > 0 {
 		cache = pagecache.New(int64(o.PageCacheMB) << 20)
 	}
+	if o.Trace != "" || o.StageStats {
+		env.Tracer = trace.New(trace.Config{})
+		env.Tracer.SetEnabled(true)
+		env.tracePath = o.Trace
+		env.stageStats = o.StageStats
+	}
 	// Env.Cfg mirrors the blaze-family configuration for callers that
 	// reach the engine layer directly; the registry builds each engine's
 	// own config from the same options.
@@ -223,6 +245,7 @@ func Setup(o *Options) (*Env, error) {
 		BinCount:  o.BinCount,
 		PageCache: cache,
 		DevOpts:   devOpts,
+		Tracer:    env.Tracer,
 	}
 	if o.BinSpaceMB > 0 {
 		ro.BinSpaceBytes = int64(o.BinSpaceMB) << 20
@@ -273,4 +296,31 @@ func (e *Env) Report(query string, extra string) {
 	if extra != "" {
 		fmt.Println(extra)
 	}
+	if e.Tracer != nil {
+		tr := e.Tracer.Collect()
+		if e.tracePath != "" {
+			if err := WriteTrace(e.tracePath, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			} else {
+				fmt.Printf("trace: %d events from %d procs written to %s\n",
+					tr.Events(), len(tr.Procs), e.tracePath)
+			}
+		}
+		if e.stageStats {
+			trace.Summarize(tr).Fprint(os.Stdout)
+		}
+	}
+}
+
+// WriteTrace writes tr to path in Chrome trace_event JSON format.
+func WriteTrace(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"blaze/internal/pagecache"
 	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Stats summarizes one EdgeMap execution.
@@ -65,9 +66,23 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		pool = nil
 	}
 
+	// Phase spans on the coordinator's clock: source → pipeline → merge,
+	// back to back, so the trace summary's phase totals reconstruct the
+	// makespan exactly (what Summary.PhaseCoverage checks).
+	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	var t0 int64
+	if ctr.Active() {
+		t0 = p.Now()
+	}
+
 	// Step 1: vertex frontier -> per-device page frontiers.
 	ps := pipeline.PageSource(ctx, p, f, c, numDev, computeProcs)
 	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
+	if ctr.Active() {
+		t1 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t1, int64(trace.PhaseSource))
+		t0 = t1
+	}
 	if ps.Pages() == 0 {
 		if !output {
 			return nil, st, nil
@@ -153,6 +168,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
 			SubmitCost: m.IOSubmit,
 			Batched:    true,
+			Tracer:     cfg.Tracer,
 			WrapErr: func(err error) error {
 				return fmt.Errorf("engine: edgemap on %q: %w", g.Name, err)
 			},
@@ -192,6 +208,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	for i := 0; i < cfg.ScatterProcs; i++ {
 		id := i
 		ctx.Go(fmt.Sprintf("scatter%d", id), func(sp exec.Proc) {
+			cfg.Tracer.Attach(sp, trace.StageScatter, int32(id))
 			stager := stagers[id]
 			local := &scatStats[id]
 			pipeline.Drain(sp, free, filled, ab, true, func(buf *pipeline.Buffer) {
@@ -216,6 +233,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	for i := 0; i < cfg.GatherProcs; i++ {
 		id := i
 		ctx.Go(fmt.Sprintf("gather%d", id), func(gp exec.Proc) {
+			gtr := cfg.Tracer.Attach(gp, trace.StageGather, int32(id))
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)
@@ -236,11 +254,18 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 					// buffer still returns to its bin so scatter procs
 					// blocked in a flush wake and the drain completes.
 					if !ab.Failed() {
+						var from int64
+						if gtr.Active() {
+							from = gp.Now()
+						}
 						gp.Advance(m.BinDrain + int64(len(bb.Records))*updCost)
 						for _, r := range bb.Records {
 							if gather(r.Dst, r.Val) && output {
 								out.Add(r.Dst)
 							}
+						}
+						if gtr.Active() {
+							gtr.Span(trace.OpGatherBin, int32(bb.BinID), from, gp.Now(), int64(len(bb.Records)))
 						}
 					}
 					bm.Return(gp, bb)
@@ -281,6 +306,11 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	}
 	free.Close()
 	filled.Close()
+	if ctr.Active() {
+		t2 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t2, int64(trace.PhasePipeline))
+		t0 = t2
+	}
 
 	for _, s := range scatStats {
 		st.PagesRead += s.PagesRead
@@ -295,6 +325,9 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	}
 	merged := pipeline.MergeFrontiers(c.V, outFronts)
 	p.Advance(m.VertexOp * merged.Count() / int64(computeProcs))
+	if ctr.Active() {
+		ctr.Span(trace.OpPhase, -1, t0, p.Now(), int64(trace.PhaseMerge))
+	}
 	st.VerticesMoved = merged.Count()
 	return merged, st, nil
 }

@@ -15,6 +15,7 @@ import (
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Graph is a runtime graph handle: the in-memory metadata (index and
@@ -131,6 +132,12 @@ type Config struct {
 	// only under the real-time backend; the virtual-time backend keeps the
 	// seed allocation pattern so figures stay byte-identical.
 	Pool *Pool
+	// Tracer, when non-nil, attaches per-proc trace rings to every pipeline
+	// stage (coordinator, IO readers, scatter, gather) so runs can emit
+	// span timelines and stage statistics (see internal/trace). A nil — or
+	// attached-but-disabled — tracer leaves all hot paths on their untraced
+	// branches.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's defaults for a graph with e edges:

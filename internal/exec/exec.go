@@ -22,6 +22,8 @@
 // outside this package (channels, sync.Cond) would deadlock the simulation.
 package exec
 
+import "blaze/internal/trace"
+
 // Proc is one simulated or real thread of execution. A Proc must only be
 // used by the goroutine it was handed to.
 type Proc interface {
@@ -40,6 +42,17 @@ type Proc interface {
 	Sync()
 	// Name returns the debug name given to Go or Run.
 	Name() string
+	// TraceRing returns the per-proc trace event ring attached with
+	// SetTraceRing, or nil when the execution is untraced — the common
+	// case, which every emission site reduces to a nil check. The slot
+	// lives on the proc (rather than in a tracer-side map) so emission
+	// needs no lookup and no synchronization: only the proc's own
+	// goroutine touches it.
+	TraceRing() *trace.Ring
+	// SetTraceRing attaches a trace ring to this proc. Engines call it
+	// (via trace.Tracer.Attach) from the proc's own goroutine right after
+	// spawn, before any emission.
+	SetTraceRing(r *trace.Ring)
 }
 
 // Context creates procs and synchronization primitives for one execution.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"blaze/internal/queue"
+	"blaze/internal/trace"
 )
 
 // Real is the wall-clock backend: procs are goroutines, queues are mutex
@@ -57,12 +58,15 @@ func (r *Real) NewResource(name string) Resource {
 type realProc struct {
 	ctx  *Real
 	name string
+	ring *trace.Ring
 }
 
-func (p *realProc) Advance(ns int64) {}
-func (p *realProc) Sync()            {}
-func (p *realProc) Name() string     { return p.name }
-func (p *realProc) Now() int64       { return int64(time.Since(p.ctx.start)) }
+func (p *realProc) Advance(ns int64)           {}
+func (p *realProc) Sync()                      {}
+func (p *realProc) Name() string               { return p.name }
+func (p *realProc) Now() int64                 { return int64(time.Since(p.ctx.start)) }
+func (p *realProc) TraceRing() *trace.Ring     { return p.ring }
+func (p *realProc) SetTraceRing(r *trace.Ring) { p.ring = r }
 
 type realWG struct{ wg sync.WaitGroup }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"blaze/internal/trace"
 )
 
 // Sim is the virtual-time backend: a sequential, deterministic
@@ -156,11 +158,14 @@ type simProc struct {
 	now    int64
 	seq    int64
 	resume chan struct{}
+	ring   *trace.Ring
 }
 
-func (p *simProc) Advance(ns int64) { p.now += ns }
-func (p *simProc) Now() int64       { return p.now }
-func (p *simProc) Name() string     { return p.name }
+func (p *simProc) Advance(ns int64)           { p.now += ns }
+func (p *simProc) Now() int64                 { return p.now }
+func (p *simProc) Name() string               { return p.name }
+func (p *simProc) TraceRing() *trace.Ring     { return p.ring }
+func (p *simProc) SetTraceRing(r *trace.Ring) { p.ring = r }
 
 // Sync parks the proc until it holds the minimal clock among runnable
 // procs, so that the caller's next shared-state access happens in global

@@ -22,6 +22,7 @@ import (
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
 	"blaze/internal/graph"
+	"blaze/internal/trace"
 )
 
 // Config parameterizes the in-core engine.
@@ -29,6 +30,9 @@ type Config struct {
 	// Workers is the computation proc count.
 	Workers int
 	Model   costmodel.Model
+	// Tracer, when non-nil, attaches per-proc trace rings to the compute
+	// workers (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig matches the paper's 16-thread comparisons.
@@ -114,9 +118,14 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 		lo := bounds[id]
 		hi := bounds[id+1]
 		s.Ctx.Go(fmt.Sprintf("inmem%d", id), func(wp exec.Proc) {
+			wtr := s.Cfg.Tracer.Attach(wp, trace.StageCompute, int32(id))
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)
+			}
+			var from int64
+			if wtr.Active() {
+				from = wp.Now()
 			}
 			var edges, produced int64
 			// wp.Sync orders the inline updates in virtual time; under
@@ -138,6 +147,9 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			}
 			wp.Advance(m.EdgeScan*edges + (updCost+hotExtra)*produced +
 				m.VertexOp*int64(hi-lo))
+			if wtr.Active() {
+				wtr.Span(trace.OpGatherBin, int32(id), from, wp.Now(), produced)
+			}
 			outs[id] = out
 			wg.Done(wp)
 		})

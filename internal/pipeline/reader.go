@@ -3,6 +3,7 @@ package pipeline
 import (
 	"blaze/internal/exec"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // Merge is a reader's request-coalescing policy: given the sorted page
@@ -98,6 +99,10 @@ type Reader struct {
 	Fill func(io exec.Proc, buf *Buffer)
 	// WrapErr decorates an unrecoverable device error with engine context.
 	WrapErr func(error) error
+	// Tracer, when non-nil, attaches a per-proc trace ring (stage "io",
+	// keyed by Dev) to the reader proc in Start. Emission itself goes
+	// through the proc's ring and is a nil-check when tracing is off.
+	Tracer *trace.Tracer
 }
 
 // Run executes the reader loop on the given proc. It returns when the page
@@ -105,11 +110,16 @@ type Reader struct {
 // fails unrecoverably; claimed-but-unused buffers are always recycled.
 func (r *Reader) Run(io exec.Proc) {
 	pages := r.Pages
+	tr := trace.RingOf(io)
 	var batch [ClaimBatch]*Buffer
 	bn, bi := 0, 0
 	i := 0
 	for i < len(pages) && !r.Latch.Failed() {
 		var buf *Buffer
+		var waitFrom int64
+		if tr.Active() {
+			waitFrom = io.Now()
+		}
 		if r.Batched {
 			if bi == bn {
 				bn = r.Free.PopBatch(io, batch[:])
@@ -135,6 +145,11 @@ func (r *Reader) Run(io exec.Proc) {
 			}
 			buf = b
 		}
+		if tr.Active() {
+			// The span covers the free-buffer claim: non-zero duration means
+			// the device outran the sinks and IO stalled for buffers.
+			tr.Span(trace.OpIOWait, int32(r.Dev), waitFrom, io.Now(), int64(r.Free.Len()))
+		}
 		buf.Dev = r.Dev
 		buf.Start = pages[i]
 		buf.NumPages = 1
@@ -142,6 +157,9 @@ func (r *Reader) Run(io exec.Proc) {
 		// time.
 		if r.Probe != nil && r.Probe(io, buf) {
 			io.Advance(r.HitCost)
+			if tr.Active() {
+				tr.Instant(trace.OpCacheHit, int32(r.Dev), io.Now(), buf.Start)
+			}
 			r.Filled.Push(io, buf)
 			i++
 			continue
@@ -166,6 +184,9 @@ func (r *Reader) Run(io exec.Proc) {
 			r.Fill(io, buf)
 		}
 		r.Filled.PushAt(io, buf, done)
+		if tr.Active() {
+			tr.Counter(trace.OpFilledLen, int32(r.Dev), io.Now(), int64(r.Filled.Len()))
+		}
 		i = next
 	}
 	if bi < bn {
@@ -180,6 +201,7 @@ func Start(ctx exec.Context, wg exec.WaitGroup, readers []*Reader) {
 	for _, r := range readers {
 		r := r
 		ctx.Go(r.Name, func(io exec.Proc) {
+			r.Tracer.Attach(io, trace.StageIO, int32(r.Dev))
 			r.Run(io)
 			wg.Done(io)
 		})

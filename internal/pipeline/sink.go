@@ -1,6 +1,9 @@
 package pipeline
 
-import "blaze/internal/exec"
+import (
+	"blaze/internal/exec"
+	"blaze/internal/trace"
+)
 
 // Drain is the sink-side consumption loop shared by every engine's compute
 // procs: pop filled buffers until the stream closes, process each one, and
@@ -10,12 +13,20 @@ import "blaze/internal/exec"
 // ClaimBatch groups per lock acquisition on the real-time backend (the
 // virtual-time queue still transfers one per call).
 func Drain(p exec.Proc, free, filled exec.Queue[*Buffer], latch *exec.Latch, batched bool, process func(buf *Buffer)) {
+	tr := trace.RingOf(p)
 	if batched {
 		var batch [ClaimBatch]*Buffer
 		for {
+			var waitFrom int64
+			if tr.Active() {
+				waitFrom = p.Now()
+			}
 			n := filled.PopBatch(p, batch[:])
 			if n == 0 {
 				return
+			}
+			if tr.Active() {
+				tr.Span(trace.OpSinkWait, int32(batch[0].Dev), waitFrom, p.Now(), int64(n))
 			}
 			for _, buf := range batch[:n] {
 				// After a failure, recycle without processing: the data may
@@ -23,21 +34,46 @@ func Drain(p exec.Proc, free, filled exec.Queue[*Buffer], latch *exec.Latch, bat
 				if latch.Failed() {
 					continue
 				}
+				if tr.Active() {
+					from := p.Now()
+					process(buf)
+					tr.Span(trace.OpSinkBuf, int32(buf.Dev), from, p.Now(), int64(buf.NumPages))
+					continue
+				}
 				process(buf)
 			}
 			free.PushN(p, batch[:n])
+			if tr.Active() {
+				tr.Counter(trace.OpFreeLen, 0, p.Now(), int64(free.Len()))
+			}
 		}
 	}
 	for {
+		var waitFrom int64
+		if tr.Active() {
+			waitFrom = p.Now()
+		}
 		buf, ok := filled.Pop(p)
 		if !ok {
 			return
+		}
+		if tr.Active() {
+			tr.Span(trace.OpSinkWait, int32(buf.Dev), waitFrom, p.Now(), 1)
 		}
 		if latch.Failed() {
 			free.Push(p, buf)
 			continue
 		}
-		process(buf)
+		if tr.Active() {
+			from := p.Now()
+			process(buf)
+			tr.Span(trace.OpSinkBuf, int32(buf.Dev), from, p.Now(), int64(buf.NumPages))
+		} else {
+			process(buf)
+		}
 		free.Push(p, buf)
+		if tr.Active() {
+			tr.Counter(trace.OpFreeLen, 0, p.Now(), int64(free.Len()))
+		}
 	}
 }

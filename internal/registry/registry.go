@@ -29,6 +29,7 @@ import (
 	"blaze/internal/pagecache"
 	"blaze/internal/ssd"
 	"blaze/internal/syncvar"
+	"blaze/internal/trace"
 )
 
 // Options is the engine-independent configuration surface. Zero values
@@ -70,6 +71,10 @@ type Options struct {
 	Pool *engine.Pool
 	// DevOpts configures devices the engine builds itself (graphene).
 	DevOpts []ssd.DeviceOptions
+	// Tracer, when non-nil, attaches per-proc trace rings to every engine's
+	// pipeline stages (see internal/trace); enable it to collect span
+	// timelines and stage statistics.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +118,7 @@ func (o Options) BlazeConfig() engine.Config {
 	if o.IOBufferBytes > 0 {
 		cfg.IOBufferBytes = o.IOBufferBytes
 	}
+	cfg.Tracer = o.Tracer
 	return cfg
 }
 
@@ -181,6 +187,7 @@ func init() {
 		if o.CacheBytes > 0 {
 			cfg.CacheBytes = o.CacheBytes
 		}
+		cfg.Tracer = o.Tracer
 		return flashgraph.New(ctx, cfg)
 	}})
 	Register("graphene", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
@@ -192,12 +199,14 @@ func init() {
 		cfg.Model = o.model()
 		cfg.Stats = o.Stats
 		cfg.DevOpts = o.DevOpts
+		cfg.Tracer = o.Tracer
 		return graphene.New(ctx, cfg, o.Profile)
 	}})
 	Register("inmem", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
 		cfg := inmem.DefaultConfig()
 		cfg.Workers = o.Workers
 		cfg.Model = o.model()
+		cfg.Tracer = o.Tracer
 		return inmem.New(ctx, cfg)
 	}})
 }

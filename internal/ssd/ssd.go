@@ -26,6 +26,7 @@ import (
 
 	"blaze/internal/exec"
 	"blaze/internal/metrics"
+	"blaze/internal/trace"
 )
 
 // PageSize is the device page size used throughout Blaze (4 kB).
@@ -221,6 +222,7 @@ func (d *Device) copyPagesRetry(p exec.Proc, start int64, n int, buf []byte) err
 		if d.stats != nil {
 			d.stats.AddRetry(d.ID)
 		}
+		trace.RingOf(p).Instant(trace.OpDevRetry, int32(d.ID), p.Now(), int64(attempt+1))
 		d.res.Acquire(p, backoff)
 		backoff *= 2
 	}
@@ -234,8 +236,14 @@ func (d *Device) ReadPages(p exec.Proc, start int64, n int, buf []byte) error {
 	if err := d.copyPagesRetry(p, start, n, buf); err != nil {
 		return err
 	}
+	tr := trace.RingOf(p)
+	var submit int64
+	if tr.Active() {
+		submit = p.Now()
+	}
 	done := d.res.Acquire(p, d.transferNs(start, n))
 	d.account(done, n)
+	tr.Span(trace.OpDevRead, int32(d.ID), submit, done, int64(n))
 	return nil
 }
 
@@ -249,8 +257,17 @@ func (d *Device) ScheduleRead(p exec.Proc, start int64, n int, buf []byte) (int6
 	if err := d.copyPagesRetry(p, start, n, buf); err != nil {
 		return 0, err
 	}
+	tr := trace.RingOf(p)
+	var submit int64
+	if tr.Active() {
+		submit = p.Now()
+	}
 	done := d.res.Schedule(p, d.transferNs(start, n))
 	d.account(done, n)
+	// The span runs submit → modeled completion: under Perfetto the gap
+	// between spans on one device lane is exactly the idle time the paper's
+	// Figure 2 argues about.
+	tr.Span(trace.OpDevRead, int32(d.ID), submit, done, int64(n))
 	return done, nil
 }
 
@@ -392,7 +409,7 @@ func MergeDeviceOptions(opts []DeviceOptions) DeviceOptions {
 	return o
 }
 
-/// Build constructs one device honoring o: the backing is wrapped first (so
+// / Build constructs one device honoring o: the backing is wrapped first (so
 // injected latency and faults are visible to the device) and the retry
 // policy applied.
 func (o DeviceOptions) Build(ctx exec.Context, id int, prof Profile, b Backing, stats *metrics.IOStats, tl *metrics.Timeline) *Device {

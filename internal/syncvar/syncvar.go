@@ -25,6 +25,7 @@ import (
 	"blaze/internal/frontier"
 	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
+	"blaze/internal/trace"
 )
 
 // System is the sync-based engine; it implements algo.System.
@@ -62,8 +63,19 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ScatterProcs + cfg.GatherProcs
 
+	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	var t0 int64
+	if ctr.Active() {
+		t0 = p.Now()
+	}
+
 	ps := pipeline.PageSource(ctx, p, f, c, numDev, 1)
 	p.Advance(m.VertexOp * f.Count() / int64(workers))
+	if ctr.Active() {
+		t1 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t1, int64(trace.PhaseSource))
+		t0 = t1
+	}
 	if ps.Pages() == 0 {
 		if !output {
 			return nil, nil
@@ -89,6 +101,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			Latch:      ab,
 			Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
 			SubmitCost: m.IOSubmit,
+			Tracer:     cfg.Tracer,
 			WrapErr: func(err error) error {
 				return fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err)
 			},
@@ -113,6 +126,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("sync-worker%d", id), func(wp exec.Proc) {
+			cfg.Tracer.Attach(wp, trace.StageCompute, int32(id))
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)
@@ -149,11 +163,20 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	wg.Wait(p)
 	free.Close()
 	filled.Close()
+	if ctr.Active() {
+		t2 := p.Now()
+		ctr.Span(trace.OpPhase, -1, t0, t2, int64(trace.PhasePipeline))
+		t0 = t2
+	}
 	if err := ab.Err(); err != nil {
 		return nil, err
 	}
 	if !output {
 		return nil, nil
 	}
-	return pipeline.MergeFrontiers(c.V, outFronts), nil
+	merged := pipeline.MergeFrontiers(c.V, outFronts)
+	if ctr.Active() {
+		ctr.Span(trace.OpPhase, -1, t0, p.Now(), int64(trace.PhaseMerge))
+	}
+	return merged, nil
 }

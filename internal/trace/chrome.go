@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChromeJSON serializes the trace in the Chrome trace_event JSON
+// format (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// chrome://tracing and Perfetto. One pid per stage groups the lanes; one
+// tid per proc keeps its spans on a single track.
+//
+// The writer is deliberately hand-rolled rather than encoding/json-driven:
+// events stream in ring registration order with fixed field order and
+// integer-exact microsecond timestamps (ns rendered as µs with three
+// decimals), so a deterministic virtual-time trace serializes to
+// byte-identical output — the property the golden tests rely on.
+func (tr *Trace) WriteChromeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for _, p := range tr.Procs {
+		// Thread metadata names the proc's track within its stage group.
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			int(p.Stage), p.ID, p.Name)
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			int(p.Stage), p.ID, p.Stage.String())
+	}
+	for _, p := range tr.Procs {
+		pid := int(p.Stage)
+		for _, e := range p.Events {
+			switch e.Kind {
+			case KindSpan:
+				name := e.Op.String()
+				if e.Op == OpPhase {
+					name = "phase:" + Phase(e.Arg).String()
+				}
+				emit(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"dev":%d,"arg":%d}}`,
+					name, p.Stage.String(), us(e.Start), us(e.Dur), pid, p.ID, e.Dev, e.Arg)
+			case KindInstant:
+				emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"dev":%d,"arg":%d}}`,
+					e.Op.String(), p.Stage.String(), us(e.Start), pid, p.ID, e.Dev, e.Arg)
+			case KindCounter:
+				// Counters are per-stage lanes keyed by op+dev so multiple
+				// devices' queue depths chart as separate series.
+				emit(`{"name":"%s/%d","ph":"C","ts":%s,"pid":%d,"tid":%d,"args":{"len":%d}}`,
+					e.Op.String(), e.Dev, us(e.Start), pid, p.ID, e.Arg)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// us renders nanoseconds as microseconds with exactly three decimals,
+// avoiding float formatting so output is platform-independent.
+func us(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
