@@ -14,6 +14,7 @@ import (
 	"blaze/internal/exec"
 	"blaze/internal/fault"
 	"blaze/internal/graph"
+	"blaze/internal/pagecache"
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
 	"blaze/internal/trace"
@@ -152,6 +153,101 @@ func TestConformancePageRank(t *testing.T) {
 		for v := range base {
 			if math.Abs(rank[v]-base[v]) > 1e-6*math.Max(1, math.Abs(base[v])) {
 				t.Fatalf("%s: rank[%d] = %g, blaze has %g", name, v, rank[v], base[v])
+			}
+		}
+	}
+}
+
+// sysCached is sysOn with a page cache handed to the registry, for the
+// cache-enabled conformance leg.
+func sysCached(t *testing.T, name string, c *graph.CSR, pc *pagecache.Cache) (exec.Context, algo.System, *engine.Graph, *engine.Graph) {
+	t.Helper()
+	ctx := exec.NewSim()
+	out := engine.FromCSR(ctx, "conf", c, 1, ssd.OptaneSSD, nil, nil)
+	in := engine.FromCSR(ctx, "conf.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil)
+	sys, err := registry.New(name, ctx, registry.Options{
+		Edges:     c.E,
+		Workers:   4,
+		NumDev:    1,
+		Profile:   ssd.OptaneSSD,
+		PageCache: pc,
+	})
+	if err != nil {
+		t.Fatalf("registry.New(%q): %v", name, err)
+	}
+	return ctx, sys, out, in
+}
+
+// TestConformanceCached: the page cache must be observationally free on
+// results. Every engine run with a covering page cache must produce the
+// same BFS depths, the same WCC partition, and (bit-for-bit) the same
+// PageRank vector as its own cache-off run — serving a page from DRAM may
+// only change modeled timing, never the bytes the algorithm sees. The
+// blaze engines must also actually exercise the cache (hits on the repeat
+// queries); engines that ignore the option (flashgraph has its own cache,
+// graphene and inmem take no cache) must leave it untouched.
+func TestConformanceCached(t *testing.T) {
+	c := randomCSR(21, 1200)
+	refDepth := algo.RefBFSDepth(c, 0)
+	refWCC := algo.RefWCC(c)
+	for _, name := range conformanceEngines {
+		run := func(pc *pagecache.Cache) ([]int64, []uint32, []float64) {
+			var parent []int64
+			var ids []uint32
+			var rank []float64
+			var ctx exec.Context
+			var sys algo.System
+			var g, in *engine.Graph
+			if pc != nil {
+				ctx, sys, g, in = sysCached(t, name, c, pc)
+			} else {
+				ctx, sys, g, in = sysOn(t, name, c)
+			}
+			ctx.Run("main", func(p exec.Proc) {
+				parent = algo.Must(algo.BFS(sys, p, g, 0))
+				ids = algo.Must(algo.WCC(sys, p, g, in))
+				rank = algo.Must(algo.PageRank(sys, p, g, 1e-6, 10))
+			})
+			return parent, ids, rank
+		}
+		plainParent, plainIDs, plainRank := run(nil)
+		pc := pagecache.New(1 << 30) // covers the conformance graphs
+		cacheParent, cacheIDs, cacheRank := run(pc)
+
+		if _, ok := algo.CheckParents(c, 0, cacheParent, refDepth); !ok {
+			t.Errorf("%s: invalid BFS forest with page cache", name)
+		}
+		for v := range plainParent {
+			if plainParent[v] != cacheParent[v] {
+				t.Errorf("%s: parent[%d] = %d uncached, %d cached", name, v, plainParent[v], cacheParent[v])
+				break
+			}
+		}
+		if !algo.SamePartition(cacheIDs, refWCC) {
+			t.Errorf("%s: WCC partition differs from union-find with page cache", name)
+		}
+		for v := range plainIDs {
+			if plainIDs[v] != cacheIDs[v] {
+				t.Errorf("%s: wcc[%d] = %d uncached, %d cached", name, v, plainIDs[v], cacheIDs[v])
+				break
+			}
+		}
+		for v := range plainRank {
+			if plainRank[v] != cacheRank[v] {
+				t.Errorf("%s: rank[%d] = %g uncached, %g cached (must be bit-identical)",
+					name, v, plainRank[v], cacheRank[v])
+				break
+			}
+		}
+		st := pc.StatsDetail()
+		switch name {
+		case "blaze", "blaze-sync":
+			if st.Hits == 0 {
+				t.Errorf("%s: covering cache recorded no hits on repeat queries", name)
+			}
+		default:
+			if st.Hits+st.Misses+st.Bypassed != 0 {
+				t.Errorf("%s: engine without cache support touched the cache: %+v", name, st)
 			}
 		}
 	}

@@ -57,21 +57,34 @@ func Ablation(scale float64) []Table {
 
 	cache := Table{
 		ID:     "ablation_pagecache",
-		Title:  "Page-cache extension on the high-locality sk2005 preset: BFS time (ms)",
-		Header: []string{"system", "time ms"},
+		Title:  "Page-cache ablation on the high-locality sk2005 preset: BFS time (ms), LRU vs CLOCK by cache size",
+		Header: []string{"system", "time ms", "hit rate %", "read MB"},
 	}
 	d := MustLoad("sk", scale)
 	noCache := Run(d, Opts{System: "blaze", Query: "bfs"})
-	withCache := runWithEngine(d, "bfs", func(c *engine.Config) {
-		f := float64(d.Preset.V) / (d.Preset.PaperV * 1e6)
-		c.PageCache = pagecache.New(int64(f * float64(1<<30)))
-	})
+	cache.Add("blaze (paper: no cache)",
+		float64(noCache.ElapsedNs)/1e6, 0.0, float64(noCache.ReadBytes)/1e6)
+	// Cache budgets track the scaled dataset: a quarter of the adjacency
+	// (eviction pressure) and twice the adjacency (capacity ceiling; the
+	// headroom absorbs CLOCK's per-shard hash imbalance).
+	pageBytes := d.CSR.NumPages() * int64(ssd.PageSize)
+	for _, policy := range []pagecache.Policy{pagecache.PolicyLRU, pagecache.PolicyCLOCK} {
+		for _, frac := range []struct {
+			name   string
+			budget int64
+		}{{"1/4 graph", pageBytes / 4}, {"2x graph", 2 * pageBytes}} {
+			pc := pagecache.NewWithPolicy(frac.budget, policy)
+			r := Run(d, Opts{System: "blaze", Query: "bfs", PageCache: pc})
+			st := pc.StatsDetail()
+			cache.Add(fmt.Sprintf("blaze + %s cache (%s)", policy, frac.name),
+				float64(r.ElapsedNs)/1e6, 100*st.HitRate(), float64(r.ReadBytes)/1e6)
+		}
+	}
 	fg := Run(d, Opts{System: "flashgraph", Query: "bfs"})
-	cache.Add("blaze (paper: no cache)", float64(noCache.ElapsedNs)/1e6)
-	cache.Add("blaze + LRU page cache (extension)", float64(withCache.ElapsedNs)/1e6)
-	cache.Add("flashgraph (LRU cache built in)", float64(fg.ElapsedNs)/1e6)
+	cache.Add("flashgraph (LRU cache built in)", float64(fg.ElapsedNs)/1e6, 0.0, float64(fg.ReadBytes)/1e6)
 	cache.Notes = append(cache.Notes,
-		"The paper leaves better eviction policies as future work (§V-B); the extension closes the sk2005 gap to FlashGraph.")
+		"The paper leaves better eviction policies as future work (SV-B); the extension closes the sk2005 gap to FlashGraph.",
+		"CLOCK's ghost list resists the traversal's scan pattern at partial capacity; with headroom the policies converge (nothing is ever evicted).")
 
 	return []Table{merge, staging, cache}
 }

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// TestRepeatScanHitRateFloor is the CI hit-rate sanity gate: on the
+// repeat-scan workload (dense PageRank iterations with a cache that holds
+// the whole adjacency, with headroom for shard imbalance) the cache must
+// serve at least RepeatScanHitRateFloor of the page lookups. One cold
+// iteration plus four cached ones puts the ideal rate at ~0.8; falling
+// under the floor means the cache stopped serving or the accounting went
+// untruthful (e.g. bypassed pages silently dropped from the denominator).
+func TestRepeatScanHitRateFloor(t *testing.T) {
+	d := MustLoad("r2", DefaultScale)
+	pageBytes := d.CSR.NumPages() * int64(ssd.PageSize)
+	for _, policy := range []pagecache.Policy{pagecache.PolicyCLOCK, pagecache.PolicyLRU} {
+		pc := pagecache.NewWithPolicy(2*pageBytes, policy)
+		Run(d, Opts{System: "blaze", Query: "pr", PRIters: 5, PageCache: pc})
+		st := pc.StatsDetail()
+		if st.Hits+st.Misses == 0 {
+			t.Fatalf("%s: cache saw no traffic", policy)
+		}
+		if hr := st.HitRate(); hr < RepeatScanHitRateFloor {
+			t.Errorf("%s: repeat-scan hit rate %.3f under floor %.2f (hits=%d misses=%d bypassed=%d)",
+				policy, hr, RepeatScanHitRateFloor, st.Hits, st.Misses, st.Bypassed)
+		}
+	}
+}
+
+// shuffledCacheEntries is a fixed worst-case ordering covering all three
+// sort keys, with the expected final position encoded in MakespanNs.
+func shuffledCacheEntries() []CacheSnapshotEntry {
+	return []CacheSnapshotEntry{
+		{Policy: "none", CacheMB: 0, Query: "pr", MakespanNs: 7},
+		{Policy: "clock", CacheMB: 8, Query: "pr", MakespanNs: 3},
+		{Policy: "lru", CacheMB: 1, Query: "bfs", MakespanNs: 4},
+		{Policy: "clock", CacheMB: 1, Query: "bfs", MakespanNs: 1},
+		{Policy: "clock", CacheMB: 1, Query: "pr", MakespanNs: 2},
+		{Policy: "lru", CacheMB: 8, Query: "pr", MakespanNs: 6},
+		{Policy: "lru", CacheMB: 1, Query: "pr", MakespanNs: 5},
+	}
+}
+
+// TestSortCacheSnapshot pins the (policy, cache size, query) ordering that
+// makes cache snapshot files diff cleanly run over run.
+func TestSortCacheSnapshot(t *testing.T) {
+	entries := shuffledCacheEntries()
+	SortCacheSnapshot(entries)
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.CacheMB != b.CacheMB {
+			return a.CacheMB < b.CacheMB
+		}
+		return a.Query < b.Query
+	}) {
+		t.Fatalf("SortCacheSnapshot left entries unsorted: %+v", entries)
+	}
+	for i, e := range entries {
+		if e.MakespanNs != int64(i+1) {
+			t.Fatalf("position %d holds entry %+v, want makespan %d", i, e, i+1)
+		}
+	}
+}
+
+// TestWriteCacheSnapshotDeterministic: writing the same measurements in any
+// input order produces byte-identical files, the property the CI
+// cache-ablation leg relies on to diff against a stored baseline.
+func TestWriteCacheSnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	shuffled := filepath.Join(dir, "shuffled.json")
+	ordered := filepath.Join(dir, "ordered.json")
+	if err := WriteCacheSnapshot(shuffled, shuffledCacheEntries()); err != nil {
+		t.Fatal(err)
+	}
+	pre := shuffledCacheEntries()
+	SortCacheSnapshot(pre)
+	if err := WriteCacheSnapshot(ordered, pre); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cache snapshot bytes depend on input order:\n%s\nvs\n%s", a, b)
+	}
+	var entries []CacheSnapshotEntry
+	if err := json.Unmarshal(a, &entries); err != nil {
+		t.Fatalf("cache snapshot is not valid JSON: %v", err)
+	}
+	if len(entries) != len(pre) || entries[0].Policy != "clock" || entries[0].CacheMB != 1 {
+		t.Fatalf("unexpected decoded snapshot head: %+v", entries[:1])
+	}
+}
+
+// TestPagecacheSnapshotShape runs the real snapshot end to end at the
+// default scale and checks the measured invariants the ablation is built
+// on: the cache-off leg and the thrash legs read the whole scan from the
+// device, the at-capacity legs read less, and every at-capacity leg clears
+// the hit-rate floor.
+func TestPagecacheSnapshotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five measured runs; skipped in -short mode")
+	}
+	entries, err := PagecacheSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5 (none + {clock,lru} x {1/4, 2x})", len(entries))
+	}
+	var base CacheSnapshotEntry
+	for _, e := range entries {
+		if e.Policy == "none" {
+			base = e
+		}
+	}
+	if base.ReadBytes == 0 {
+		t.Fatal("cache-off baseline read nothing")
+	}
+	atCapacity := 0
+	for _, e := range entries {
+		if e.Policy == "none" {
+			continue
+		}
+		if e.HitRate >= RepeatScanHitRateFloor {
+			atCapacity++
+			// At-capacity leg: the cache must have cut device traffic.
+			if e.ReadBytes >= base.ReadBytes {
+				t.Errorf("%s/%dMB: hit rate %.2f but read %d bytes >= uncached %d",
+					e.Policy, e.CacheMB, e.HitRate, e.ReadBytes, base.ReadBytes)
+			}
+		}
+		if e.ReadBytes > base.ReadBytes {
+			t.Errorf("%s/%dMB: cached run read %d bytes > uncached %d",
+				e.Policy, e.CacheMB, e.ReadBytes, base.ReadBytes)
+		}
+	}
+	if atCapacity != 2 {
+		t.Errorf("%d at-capacity legs cleared the floor, want 2 (clock and lru at 2x graph)", atCapacity)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/exec"
 	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
 	"blaze/internal/trace"
@@ -31,6 +32,10 @@ type Opts struct {
 	BinSpace int64
 	// IOBufBytes overrides the IO buffer budget (0 = default 64 MB).
 	IOBufBytes int64
+	// PageCache, when non-nil, is put in front of the blaze engines (the
+	// paper's Blaze has none). The caller keeps the handle, so hit-rate
+	// accounting survives the run (see the pagecache ablation/snapshot).
+	PageCache *pagecache.Cache
 	// PRIters caps PageRank iterations (0 = 15).
 	PRIters int
 	// TimelineBucketNs enables bandwidth timeline collection.
@@ -122,6 +127,7 @@ func Run(d *Dataset, o Opts) Result {
 		BinCount:      o.BinCount,
 		BinSpaceBytes: o.BinSpace,
 		IOBufferBytes: o.IOBufBytes,
+		PageCache:     o.PageCache,
 		Tracer:        o.Tracer,
 	}
 	// FlashGraph's page cache (1 GB on the paper's testbed) must scale

@@ -9,6 +9,7 @@
 //	blaze-bench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	blaze-bench -exp fig8 -faultTransientRate 0.001  # failure drill
 //	blaze-bench -snapshot BENCH_pipeline.json        # CI perf snapshot
+//	blaze-bench -snapshot-pagecache BENCH_pagecache.json  # cache ablation snapshot
 //	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
 //
@@ -55,6 +56,7 @@ func run() (code int) {
 	out := flag.String("out", "results", "output directory for CSV files")
 	list := flag.Bool("list", false, "list experiments and exit")
 	snapshot := flag.String("snapshot", "", "write a short-sim pipeline perf snapshot (makespan + allocs per engine) to this JSON file and exit")
+	snapshotPC := flag.String("snapshot-pagecache", "", "write a short-sim page-cache ablation snapshot (LRU vs CLOCK by cache size, with hit rates) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -115,6 +117,25 @@ func run() (code int) {
 				e.Engine, e.Query, float64(e.MakespanNs)/1e6, float64(e.ReadBytes)/1e6, e.Allocs)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshot)
+		return 0
+	}
+
+	if *snapshotPC != "" {
+		entries, err := bench.PagecacheSnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-pagecache: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteCacheSnapshot(*snapshotPC, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-pagecache: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-6s cache=%4dMB %-4s makespan=%8.3fms read=%6.1fMB hitRate=%.3f evict=%d ghost=%d\n",
+				e.Policy, e.CacheMB, e.Query, float64(e.MakespanNs)/1e6,
+				float64(e.ReadBytes)/1e6, e.HitRate, e.Evictions, e.GhostHits)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotPC)
 		return 0
 	}
 

@@ -76,7 +76,10 @@ func New(ctx exec.Context, cfg Config) *System {
 		Ctx:     ctx,
 		Cfg:     cfg,
 		IterLog: algo.IterLog{Stats: cfg.Stats},
-		cache:   pagecache.New(cfg.CacheBytes),
+		// FlashGraph's cache is the §III-A LRU: the single-shard legacy
+		// policy, so the baseline's recency order (and modeled timings)
+		// match the original global-list implementation exactly.
+		cache: pagecache.NewWithPolicy(cfg.CacheBytes, pagecache.PolicyLRU),
 	}
 }
 
@@ -152,7 +155,12 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 
 	// IO readers, one per device, single-page requests (MergeRuns(1))
 	// with the LRU cache in front. FlashGraph synchronizes before every
-	// cache access — including misses — so the probe itself syncs.
+	// cache access — including misses — so the probe itself syncs. Pages
+	// are keyed by the graph's interned name (stable across reloads); with
+	// one-page runs the multi-page probe degenerates to the single-page
+	// hit/miss FlashGraph models.
+	gid := s.cache.GraphID(g.Name)
+	stride := int64(numDev)
 	ab := &exec.Latch{}
 	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
@@ -168,15 +176,18 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			Merge:      pipeline.MergeRuns(1),
 			SubmitCost: m.IOSubmit,
 			HitCost:    m.PageOverhead / 2,
-			Probe: func(io exec.Proc, buf *pipeline.Buffer) bool {
-				logical := g.Arr.Logical(buf.Dev, buf.Start)
+			ProbeRun: func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
+				base := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
-				return s.cache.Get(pagecache.Key{Graph: c, Logical: logical}, buf.Data)
+				return s.cache.ProbeRun(gid, base, stride, n, buf.Data)
 			},
-			Fill: func(io exec.Proc, buf *pipeline.Buffer) {
-				logical := g.Arr.Logical(buf.Dev, buf.Start)
+			Fill: func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
+				base := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
-				s.cache.Put(pagecache.Key{Graph: c, Logical: logical}, buf.Data)
+				for pg := lo; pg < hi; pg++ {
+					s.cache.Put(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
+						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+				}
 			},
 			Tracer: cfg.Tracer,
 			WrapErr: func(err error) error {
@@ -313,3 +324,6 @@ var debugPhase func(string, int64)
 
 // CacheLen exposes the cache size for tests.
 func (s *System) CacheLen() int { return s.cache.Len() }
+
+// CacheStats exposes the cache counters for tests and the ablation tables.
+func (s *System) CacheStats() metrics.CacheStats { return s.cache.StatsDetail() }

@@ -41,9 +41,10 @@ type Options struct {
 	BinningRatio   float64
 	Devices        int
 	Profile        string
-	Sim            bool
-	PageCacheMB    int
-	MaxIters       int
+	Sim             bool
+	PageCacheMB     int
+	PageCachePolicy string
+	MaxIters        int
 	Epsilon        float64
 	InIndex        string
 	InAdj          string
@@ -113,7 +114,8 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.BoolVar(&o.Sim, "sim", false, "run under the deterministic virtual-time backend")
 	fs.IntVar(&o.MaxIters, "maxIters", 20, "iteration cap for iterative queries (pr)")
 	fs.Float64Var(&o.Epsilon, "epsilon", 0.001, "PageRank-delta activation threshold")
-	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "LRU page cache size in MB (0 = off, the paper's configuration)")
+	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "page cache size in MB (0 = off, the paper's configuration); caches the blaze engines and overrides flashgraph's built-in budget")
+	fs.StringVar(&o.PageCachePolicy, "pageCachePolicy", "clock", "page-cache eviction policy: clock (sharded second chance) or lru (single-shard ablation baseline)")
 	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	fs.BoolVar(&o.StageStats, "stageStats", false, "print the per-stage trace summary after the query")
 	fs.StringVar(&o.InIndex, "inIndexFilename", "", "transpose graph index file")
@@ -142,6 +144,17 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 		os.Exit(2)
 	}
 	return o
+}
+
+// CachePolicy resolves the -pageCachePolicy flag.
+func (o *Options) CachePolicy() (pagecache.Policy, error) {
+	switch strings.ToLower(o.PageCachePolicy) {
+	case "", "clock":
+		return pagecache.PolicyCLOCK, nil
+	case "lru":
+		return pagecache.PolicyLRU, nil
+	}
+	return 0, fmt.Errorf("unknown page-cache policy %q (have clock, lru)", o.PageCachePolicy)
 }
 
 // DeviceProfile resolves the -profile flag.
@@ -174,6 +187,10 @@ type Env struct {
 	Tracer     *trace.Tracer
 	tracePath  string
 	stageStats bool
+
+	// Cache is the page cache built for -pageCache, for the Report line;
+	// nil when the flag was 0.
+	Cache *pagecache.Cache
 }
 
 // Setup loads the graphs and builds the engine selected by -engine
@@ -224,7 +241,13 @@ func Setup(o *Options) (*Env, error) {
 	}
 	var cache *pagecache.Cache
 	if o.PageCacheMB > 0 {
-		cache = pagecache.New(int64(o.PageCacheMB) << 20)
+		policy, err := o.CachePolicy()
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		cache = pagecache.NewWithPolicy(int64(o.PageCacheMB)<<20, policy)
+		env.Cache = cache
 	}
 	if o.Trace != "" || o.StageStats {
 		env.Tracer = trace.New(trace.Config{})
@@ -246,6 +269,11 @@ func Setup(o *Options) (*Env, error) {
 		PageCache: cache,
 		DevOpts:   devOpts,
 		Tracer:    env.Tracer,
+	}
+	if o.PageCacheMB > 0 {
+		// The flag also sizes flashgraph's built-in cache, so one knob
+		// governs caching across engines.
+		ro.CacheBytes = int64(o.PageCacheMB) << 20
 	}
 	if o.BinSpaceMB > 0 {
 		ro.BinSpaceBytes = int64(o.BinSpaceMB) << 20
@@ -293,6 +321,14 @@ func (e *Env) Report(query string, extra string) {
 	if r, er := e.Stats.Retries(), e.Stats.ReadErrors(); r > 0 || er > 0 {
 		fmt.Printf("device faults: %d retried reads, %d unrecoverable errors\n", r, er)
 	}
+	// Engines with a built-in cache (flashgraph) report their own counters;
+	// the blaze engines report the -pageCache cache handed to them.
+	if cs, ok := e.Sys.(interface{ CacheStats() metrics.CacheStats }); ok {
+		printCacheStats(cs.CacheStats())
+	} else if e.Cache.Enabled() {
+		d := e.Cache.StatsDetail()
+		printCacheStats(d)
+	}
 	if extra != "" {
 		fmt.Println(extra)
 	}
@@ -310,6 +346,17 @@ func (e *Env) Report(query string, extra string) {
 			trace.Summarize(tr).Fprint(os.Stdout)
 		}
 	}
+}
+
+// printCacheStats prints one page-cache accounting line (skipped when the
+// cache saw no traffic, e.g. a -pageCache flag on an engine that ignores
+// it).
+func printCacheStats(d metrics.CacheStats) {
+	if d.Hits+d.Misses == 0 {
+		return
+	}
+	fmt.Printf("page cache: hits=%d misses=%d hitRate=%.1f%% evictions=%d ghostHits=%d bypassed=%d\n",
+		d.Hits, d.Misses, 100*d.HitRate(), d.Evictions, d.GhostHits, d.Bypassed)
 }
 
 // WriteTrace writes tr to path in Chrome trace_event JSON format.

@@ -149,11 +149,23 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 
 	// IO readers: one per device (step 2), merging up to MaxMergePages
 	// device-contiguous pages per request and never merging across gaps,
-	// with the optional page cache probed in front of the device. The cache
-	// serves a single page per buffer: merged runs are filled page by page
-	// on the way in, but Get never serves a multi-page run (the probe only
-	// asks for the one page at the cursor), so a hit always bypasses merge.
+	// with the optional page cache probed in front of the device. The probe
+	// covers the whole merged run (pipeline.Reader.ProbeRun): a fully
+	// cached run is served with no device IO, and a cached prefix/suffix is
+	// trimmed off a partial run so the device reads only the uncached
+	// middle span.
 	cache := cfg.PageCache
+	var gid pagecache.ID
+	var stride int64
+	if cache.Enabled() {
+		// Pages are keyed by the graph's interned name, not its CSR
+		// pointer, so the cache never pins the index against GC and a
+		// reloaded graph hits its previous incarnation's entries. The
+		// logical-page stride between device-adjacent pages of a striped
+		// array is the device count.
+		gid = cache.GraphID(g.Name)
+		stride = int64(numDev)
+	}
 	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
 		dev := d
@@ -175,21 +187,31 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		}
 		if cache.Enabled() {
 			r.HitCost = m.PageOverhead / 2
-			r.Probe = func(io exec.Proc, buf *pipeline.Buffer) bool {
-				logical := g.Arr.Logical(buf.Dev, buf.Start)
-				return cache.Get(pagecache.Key{Graph: g.CSR, Logical: logical}, buf.Data[:ssd.PageSize])
+			r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
+				base := g.Arr.Logical(buf.Dev, buf.Start)
+				return cache.ProbeRun(gid, base, stride, n, buf.Data)
 			}
-			r.Fill = func(io exec.Proc, buf *pipeline.Buffer) {
+			r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
 				// Key construction is pure: hoist the striped-array math out
 				// of the synchronized section so the lock window only covers
 				// the cache inserts. Logical(dev, local+pg) advances by the
-				// device-count stride per page of the merged run.
+				// device-count stride per page of the merged run. Only the
+				// device-read span [lo, hi) is inserted — cache-served
+				// prefix/suffix pages are already resident.
 				base := g.Arr.Logical(buf.Dev, buf.Start)
-				stride := int64(g.Arr.NumDevices())
+				ftr := trace.RingOf(io)
 				io.Sync()
-				for pg := 0; pg < buf.NumPages; pg++ {
-					cache.Put(pagecache.Key{Graph: g.CSR, Logical: base + int64(pg)*stride},
+				for pg := lo; pg < hi; pg++ {
+					res := cache.Put(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
 						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+					if ftr.Active() {
+						if res&pagecache.PutEvicted != 0 {
+							ftr.Instant(trace.OpCacheEvict, int32(buf.Dev), io.Now(), 1)
+						}
+						if res&pagecache.PutGhostHit != 0 {
+							ftr.Instant(trace.OpCacheGhostHit, int32(buf.Dev), io.Now(), 1)
+						}
+					}
 				}
 			}
 		}

@@ -118,9 +118,10 @@ type Config struct {
 	BinSpaceBytes int64
 	StageCap      int
 	// PageCache, when non-nil, caches fetched pages across EdgeMap calls
-	// with LRU eviction. The paper's Blaze only evicts IO buffers
-	// randomly and names better eviction policies as future work; this is
-	// that extension (see the pagecache ablation experiment).
+	// (sharded CLOCK by default; see internal/pagecache). The paper's
+	// Blaze only evicts IO buffers randomly and names better eviction
+	// policies as future work; this is that extension (see the pagecache
+	// ablation experiment and DESIGN.md §10).
 	PageCache *pagecache.Cache
 	// Model is the virtual-time cost model.
 	Model costmodel.Model

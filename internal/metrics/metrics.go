@@ -268,6 +268,28 @@ func Skew(devBytes []int64) int64 {
 	return max - min
 }
 
+// CacheStats is a point-in-time summary of a page cache's counters (the
+// pagecache package aggregates its per-shard padded counters into one of
+// these). Misses include bypassed pages, so HitRate never overstates how
+// much of the workload the cache actually served.
+type CacheStats struct {
+	Hits      int64 // pages served from cache
+	Misses    int64 // pages read from the device (bypassed included)
+	Bypassed  int64 // pages read without probing the cache
+	Evictions int64 // resident pages displaced
+	GhostHits int64 // evicted keys readmitted while still on the ghost list
+	Rejected  int64 // puts dropped for violating page-size strictness
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
 // MemAccount tracks named memory reservations so Figure 12's footprint can
 // be reported per workload. Entries are analytic sizes (bytes), not Go heap
 // measurements, mirroring the paper's accounting of index, page map, IO

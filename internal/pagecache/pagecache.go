@@ -1,116 +1,596 @@
-// Package pagecache implements an LRU cache of 4 kB graph pages keyed by
-// (graph, logical page number).
+// Package pagecache implements a sharded, concurrent cache of 4 kB graph
+// pages keyed by (graph identity, logical page number).
 //
 // The FlashGraph baseline uses it as described in the paper (§V-B:
 // FlashGraph's LRU page cache makes it 12-20% faster than Blaze on the
-// high-locality sk2005 graph). The Blaze engine can also enable it via
-// engine.Config.PageCacheBytes — the paper lists "more advanced eviction
+// high-locality sk2005 graph). The Blaze engines can also enable it via
+// engine.Config.PageCache — the paper lists "more advanced eviction
 // policies" than its random IO-buffer eviction as future work, and the
 // pagecache ablation experiment quantifies exactly that gap.
+//
+// Design (DESIGN.md §10):
+//
+//   - The key space is hash-partitioned over N power-of-two shards, each
+//     with its own mutex, so concurrent IO procs probing and filling the
+//     cache contend only when they touch the same shard.
+//   - Eviction is CLOCK (second chance) per shard: every resident page's
+//     reference bit is cleared once before the page can be evicted, so any
+//     page hit since the last sweep survives the next one. PolicyLRU keeps
+//     the legacy global move-to-front list (single shard) as the ablation
+//     baseline.
+//   - A small per-shard ghost list remembers recently evicted keys (no
+//     data). A page that returns while still remembered is readmitted with
+//     its reference bit already set, so one sequential scan cannot flush
+//     the hot set (scan resistance).
+//   - Page storage comes from a pooled chunk arena (1 MB chunks shared
+//     through a sync.Pool) instead of a per-entry make([]byte, 4096), so
+//     cache churn across runs does not churn the GC.
+//   - Graphs are identified by an interned name, not a *graph.CSR pointer:
+//     the cache never pins a graph's index against GC, and a reloaded
+//     graph reuses its previous entries instead of leaving them
+//     unreachable-but-resident.
+//
+// Multi-page runs are served through ProbeRun, which can satisfy a fully
+// cached merged run or trim a cached prefix/suffix off a partially cached
+// one (see the pipeline.Reader.ProbeRun contract).
 package pagecache
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"blaze/internal/graph"
+	"blaze/internal/metrics"
 )
 
-// Key identifies a cached page. Keying by CSR pointer keeps a forward
-// graph and its transpose from colliding in one cache.
+// ID is an interned graph identity within one cache (see Cache.GraphID).
+// Keying by a small stable id instead of a *graph.CSR keeps the cache from
+// pinning graph indexes against GC and lets a reloaded graph hit the
+// entries its previous incarnation inserted.
+type ID uint32
+
+// Key identifies a cached page.
 type Key struct {
-	Graph   *graph.CSR
+	Graph   ID
 	Logical int64
 }
 
-// Cache is a thread-safe LRU page cache.
-type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[Key]*list.Element
+// Policy selects the per-shard eviction policy.
+type Policy uint8
 
-	hits   int64
-	misses int64
+const (
+	// PolicyCLOCK is the default: sharded second-chance eviction with a
+	// ghost list for scan resistance.
+	PolicyCLOCK Policy = iota
+	// PolicyLRU is the legacy single-shard global LRU (move-to-front on
+	// every touch, evict the back). It exists as the ablation baseline and
+	// for the FlashGraph baseline's faithful §III-A configuration.
+	PolicyLRU
+)
+
+// String returns the policy's display name.
+func (p Policy) String() string {
+	if p == PolicyLRU {
+		return "lru"
+	}
+	return "clock"
 }
 
-type entry struct {
+// chunkPages is the arena chunk granularity: 1 MB chunks amortize
+// allocation and let partially filled shards grow lazily.
+const chunkPages = 256
+
+// chunkPool recycles arena chunks across caches (the "pooled arena"):
+// benchmark harnesses build and drop many caches per process.
+var chunkPool = sync.Pool{
+	New: func() any { return make([]byte, chunkPages*graph.PageSize) },
+}
+
+// noFrame marks an empty map slot / list end.
+const noFrame = int32(-1)
+
+// frame is one resident page slot.
+type frame struct {
 	key  Key
-	data []byte
+	data []byte // arena-backed, exactly graph.PageSize bytes
+	ref  bool   // CLOCK reference bit
+	// prev/next thread the LRU list (PolicyLRU only); head = MRU.
+	prev, next int32
 }
 
-// New returns a cache holding up to capBytes of pages. A non-positive
-// capacity yields a disabled cache (all gets miss, puts are dropped).
-func New(capBytes int64) *Cache {
-	return &Cache{
-		cap:   int(capBytes / graph.PageSize),
-		ll:    list.New(),
-		items: map[Key]*list.Element{},
-	}
+// ghostList is a bounded FIFO of recently evicted keys. slot[k] is k's ring
+// position; a ring entry is live only while slot still maps it there, so
+// removals are O(1) map deletes and stale ring entries are skipped when
+// their position is reused.
+type ghostList struct {
+	ring []Key
+	slot map[Key]int
+	pos  int
 }
 
-// Enabled reports whether the cache can hold at least one page.
-func (c *Cache) Enabled() bool { return c != nil && c.cap > 0 }
+func newGhostList(cap int) ghostList {
+	if cap < 1 {
+		cap = 1
+	}
+	return ghostList{ring: make([]Key, cap), slot: make(map[Key]int, cap)}
+}
 
-// Get copies the cached page into out and reports a hit.
-func (c *Cache) Get(key Key, out []byte) bool {
-	if !c.Enabled() {
+// add remembers k, forgetting the oldest remembered key if full.
+func (g *ghostList) add(k Key) {
+	old := g.ring[g.pos]
+	if p, ok := g.slot[old]; ok && p == g.pos {
+		delete(g.slot, old)
+	}
+	g.ring[g.pos] = k
+	g.slot[k] = g.pos
+	g.pos = (g.pos + 1) % len(g.ring)
+}
+
+// take reports whether k was remembered and forgets it.
+func (g *ghostList) take(k Key) bool {
+	if _, ok := g.slot[k]; !ok {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	copy(out, el.Value.(*entry).data)
+	delete(g.slot, k)
 	return true
 }
 
-// Put inserts a copy of data, evicting least-recently-used pages as
-// needed.
-func (c *Cache) Put(key Key, data []byte) {
+// shardCounters are one shard's hit/miss/evict accounting. They are
+// updated under the shard mutex but padded (each shard is its own
+// allocation, with trailing pad below) so two IO procs hammering adjacent
+// shards never false-share a counter line.
+type shardCounters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	ghostHits atomic.Int64
+	rejected  atomic.Int64
+}
+
+// shard is one lock domain of the cache.
+type shard struct {
+	mu     sync.Mutex
+	policy Policy
+	cap    int // resident-page budget
+	items  map[Key]int32
+	frames []frame  // grown lazily up to cap
+	arena  [][]byte // chunked page storage
+	hand   int32    // CLOCK hand (frame index)
+	head   int32    // LRU MRU end
+	tail   int32    // LRU eviction end
+	ghost  ghostList
+
+	shardCounters
+	_ [64]byte // keep the counters off the next allocation's line
+}
+
+func newShard(cap int, policy Policy) *shard {
+	return &shard{
+		policy: policy,
+		cap:    cap,
+		items:  make(map[Key]int32, cap),
+		head:   noFrame,
+		tail:   noFrame,
+		ghost:  newGhostList(cap),
+	}
+}
+
+// frameData returns frame i's arena slot, allocating chunks on demand.
+func (s *shard) frameData(i int) []byte {
+	ci, off := i/chunkPages, (i%chunkPages)*graph.PageSize
+	for len(s.arena) <= ci {
+		s.arena = append(s.arena, nil)
+	}
+	if s.arena[ci] == nil {
+		s.arena[ci] = chunkPool.Get().([]byte)
+	}
+	return s.arena[ci][off : off+graph.PageSize : off+graph.PageSize]
+}
+
+// lruUnlink removes frame i from the recency list.
+func (s *shard) lruUnlink(i int32) {
+	f := &s.frames[i]
+	if f.prev != noFrame {
+		s.frames[f.prev].next = f.next
+	} else {
+		s.head = f.next
+	}
+	if f.next != noFrame {
+		s.frames[f.next].prev = f.prev
+	} else {
+		s.tail = f.prev
+	}
+	f.prev, f.next = noFrame, noFrame
+}
+
+// lruPushFront makes frame i the MRU.
+func (s *shard) lruPushFront(i int32) {
+	f := &s.frames[i]
+	f.prev, f.next = noFrame, s.head
+	if s.head != noFrame {
+		s.frames[s.head].prev = i
+	}
+	s.head = i
+	if s.tail == noFrame {
+		s.tail = i
+	}
+}
+
+// touch records a hit on frame i under the shard's policy.
+func (s *shard) touch(i int32) {
+	if s.policy == PolicyLRU {
+		s.lruUnlink(i)
+		s.lruPushFront(i)
+		return
+	}
+	s.frames[i].ref = true
+}
+
+// get copies the page into out under the shard lock and reports a hit.
+// Counting is left to the caller so run probes can attribute interior
+// pages correctly.
+func (s *shard) get(key Key, out []byte) bool {
+	s.mu.Lock()
+	i, ok := s.items[key]
+	if ok {
+		copy(out[:graph.PageSize], s.frames[i].data)
+		s.touch(i)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// evictFrame picks the victim frame index per policy. All frames are
+// resident when this is called (put only evicts at capacity).
+func (s *shard) evictFrame() int32 {
+	if s.policy == PolicyLRU {
+		return s.tail
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced frame comes
+	// under the hand. Terminates within two passes (the first pass clears
+	// every bit).
+	for {
+		f := &s.frames[s.hand]
+		if !f.ref {
+			victim := s.hand
+			s.hand = (s.hand + 1) % int32(len(s.frames))
+			return victim
+		}
+		f.ref = false
+		s.hand = (s.hand + 1) % int32(len(s.frames))
+	}
+}
+
+// put inserts or updates the page and returns what happened.
+func (s *shard) put(key Key, data []byte) PutResult {
+	var res PutResult
+	s.mu.Lock()
+	if i, ok := s.items[key]; ok {
+		copy(s.frames[i].data, data[:graph.PageSize])
+		s.touch(i)
+		s.mu.Unlock()
+		return PutStored
+	}
+	ghostHit := s.policy == PolicyCLOCK && s.ghost.take(key)
+	var i int32
+	if len(s.frames) < s.cap {
+		i = int32(len(s.frames))
+		s.frames = append(s.frames, frame{prev: noFrame, next: noFrame})
+		s.frames[i].data = s.frameData(int(i))
+	} else {
+		i = s.evictFrame()
+		old := s.frames[i].key
+		delete(s.items, old)
+		if s.policy == PolicyCLOCK {
+			s.ghost.add(old)
+		} else {
+			s.lruUnlink(i)
+		}
+		s.evictions.Add(1)
+		res |= PutEvicted
+	}
+	f := &s.frames[i]
+	f.key = key
+	copy(f.data, data[:graph.PageSize])
+	// Fresh pages get no reference bit (one chance: a pure scan cannot
+	// displace the hot set); pages returning from the ghost list are
+	// readmitted hot.
+	f.ref = ghostHit
+	if ghostHit {
+		s.ghostHits.Add(1)
+		res |= PutGhostHit
+	}
+	if s.policy == PolicyLRU {
+		s.lruPushFront(i)
+	}
+	s.items[key] = i
+	s.mu.Unlock()
+	return res | PutStored
+}
+
+// PutResult reports what a Put did, for trace instrumentation.
+type PutResult uint8
+
+const (
+	// PutStored: the page is now resident (inserted or updated in place).
+	PutStored PutResult = 1 << iota
+	// PutEvicted: the insert displaced another resident page.
+	PutEvicted
+	// PutGhostHit: the key was on the ghost list and was readmitted with
+	// its reference bit set.
+	PutGhostHit
+)
+
+// Cache is a thread-safe sharded page cache.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+	cap    int // total resident-page budget
+
+	idMu sync.Mutex
+	ids  map[string]ID
+
+	// bypassed counts pages a cache-enabled engine read from the device
+	// without probing (see AddBypass); kept off the shards because it is
+	// not a shard event.
+	bypassed atomic.Int64
+}
+
+// shardCount picks the power-of-two shard count for capPages resident
+// pages: enough shards to spread IO-proc contention, never so many that a
+// shard drops below 32 pages (tiny shards evict erratically), capped at
+// 64. PolicyLRU always uses one shard so its recency order — and so the
+// FlashGraph baseline's modeled timings — match the legacy global list
+// exactly.
+func shardCount(capPages int, policy Policy) int {
+	if policy == PolicyLRU {
+		return 1
+	}
+	n := 1
+	for n < 64 && capPages/(n*2) >= 32 {
+		n <<= 1
+	}
+	return n
+}
+
+// New returns a sharded CLOCK cache holding up to capBytes of pages. A
+// non-positive capacity yields a disabled cache (all gets miss, puts are
+// dropped).
+func New(capBytes int64) *Cache { return NewWithPolicy(capBytes, PolicyCLOCK) }
+
+// NewWithPolicy returns a cache with an explicit eviction policy (the
+// pagecache ablation compares PolicyLRU and PolicyCLOCK head to head).
+func NewWithPolicy(capBytes int64, policy Policy) *Cache {
+	capPages := int(capBytes / graph.PageSize)
+	c := &Cache{cap: capPages, ids: map[string]ID{}}
+	if capPages <= 0 {
+		return c
+	}
+	n := shardCount(capPages, policy)
+	c.mask = uint64(n - 1)
+	c.shards = make([]*shard, n)
+	per, extra := capPages/n, capPages%n
+	for i := range c.shards {
+		sc := per
+		if i < extra {
+			sc++
+		}
+		if sc < 1 {
+			sc = 1
+		}
+		c.shards[i] = newShard(sc, policy)
+	}
+	return c
+}
+
+// Enabled reports whether the cache can hold at least one page.
+func (c *Cache) Enabled() bool { return c != nil && len(c.shards) > 0 }
+
+// GraphID interns name and returns its stable identity within this cache.
+// Two graphs with the same name — e.g. a graph and its later reload from
+// the same files — share an identity, so reloading never strands resident
+// entries. Callers that mutate a graph's pages in place must DropGraph
+// first (graph files in this repository are immutable datasets).
+func (c *Cache) GraphID(name string) ID {
+	if !c.Enabled() {
+		return 0
+	}
+	c.idMu.Lock()
+	id, ok := c.ids[name]
+	if !ok {
+		id = ID(len(c.ids) + 1)
+		c.ids[name] = id
+	}
+	c.idMu.Unlock()
+	return id
+}
+
+// DropGraph evicts every resident page of the named graph (for callers
+// that reload changed content under an existing name). The name stays
+// interned so outstanding IDs remain valid.
+func (c *Cache) DropGraph(name string) {
 	if !c.Enabled() {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		copy(el.Value.(*entry).data, data)
+	c.idMu.Lock()
+	id, ok := c.ids[name]
+	c.idMu.Unlock()
+	if !ok {
 		return
 	}
-	for c.ll.Len() >= c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*entry).key)
+	for si, s := range c.shards {
+		s.mu.Lock()
+		// Rebuild the shard without the dropped graph's frames. Survivors
+		// keep their data and reference bits; LRU recency order is
+		// preserved by re-inserting from the cold end.
+		fresh := newShard(s.cap, s.policy)
+		fresh.hits.Store(s.hits.Load())
+		fresh.misses.Store(s.misses.Load())
+		fresh.evictions.Store(s.evictions.Load())
+		fresh.ghostHits.Store(s.ghostHits.Load())
+		fresh.rejected.Store(s.rejected.Load())
+		reinsert := func(i int32) {
+			f := s.frames[i]
+			if f.key.Graph == id {
+				return
+			}
+			fresh.put(f.key, f.data)
+			if f.ref {
+				fresh.touch(fresh.items[f.key])
+			}
+		}
+		if s.policy == PolicyLRU {
+			for i := s.tail; i != noFrame; i = s.frames[i].prev {
+				reinsert(i)
+			}
+		} else {
+			for i := range s.frames {
+				reinsert(int32(i))
+			}
+		}
+		for _, ch := range s.arena {
+			if ch != nil {
+				chunkPool.Put(ch)
+			}
+		}
+		c.shards[si] = fresh
+		s.mu.Unlock()
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	c.items[key] = c.ll.PushFront(&entry{key, cp})
 }
 
-// Len returns the number of cached pages.
+// hash spreads (graph, logical) over the shards (splitmix64 finalizer).
+func (k Key) hash() uint64 {
+	x := uint64(k.Logical)*0x9E3779B97F4A7C15 + uint64(k.Graph)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (c *Cache) shardOf(k Key) *shard { return c.shards[k.hash()&c.mask] }
+
+// Get copies the cached page into out and reports a hit. It is
+// page-size-strict: out must hold at least graph.PageSize bytes or the
+// call is a miss (a shorter destination would silently keep a stale
+// tail).
+func (c *Cache) Get(key Key, out []byte) bool {
+	if !c.Enabled() || len(out) < graph.PageSize {
+		return false
+	}
+	s := c.shardOf(key)
+	if s.get(key, out) {
+		s.hits.Add(1)
+		return true
+	}
+	s.misses.Add(1)
+	return false
+}
+
+// Put inserts a copy of data, evicting per the shard policy as needed. It
+// is page-size-strict: data must be exactly graph.PageSize bytes, or the
+// put is rejected (and counted) — caching a short entry would leave a
+// later Get's destination with a stale tail.
+func (c *Cache) Put(key Key, data []byte) PutResult {
+	if !c.Enabled() {
+		return 0
+	}
+	if len(data) != graph.PageSize {
+		c.shards[0].rejected.Add(1)
+		return 0
+	}
+	return c.shardOf(key).put(key, data)
+}
+
+// ProbeRun checks the n consecutive pages {base + k*stride, k < n} of one
+// merged device run against the cache and serves the longest cached prefix
+// and suffix by copying them into out (page k at out[k*PageSize:]).
+// It returns the prefix and suffix page counts; prefix+suffix == n means
+// the whole run was served. Interior cached pages are not served — the
+// device read must be one contiguous span — and count as misses, since
+// they will be read from the device anyway (truthful hit-rate accounting
+// for the ablation).
+//
+// stride is the logical-page distance between device-adjacent pages
+// (NumDevices for a striped array, 1 for self-placed devices).
+func (c *Cache) ProbeRun(g ID, base, stride int64, n int, out []byte) (prefix, suffix int) {
+	if !c.Enabled() || n <= 0 || len(out) < n*graph.PageSize {
+		return 0, 0
+	}
+	for prefix < n {
+		k := Key{Graph: g, Logical: base + int64(prefix)*stride}
+		if !c.shardOf(k).get(k, out[prefix*graph.PageSize:]) {
+			break
+		}
+		prefix++
+	}
+	for prefix+suffix < n {
+		j := n - 1 - suffix
+		k := Key{Graph: g, Logical: base + int64(j)*stride}
+		if !c.shardOf(k).get(k, out[j*graph.PageSize:]) {
+			break
+		}
+		suffix++
+	}
+	served := prefix + suffix
+	if served > 0 {
+		c.shardOf(Key{Graph: g, Logical: base}).hits.Add(int64(served))
+	}
+	if served < n {
+		c.shardOf(Key{Graph: g, Logical: base + int64(prefix)*stride}).
+			misses.Add(int64(n - served))
+	}
+	return prefix, suffix
+}
+
+// AddBypass records pages that a cache-enabled engine read from the device
+// without probing. The shared pipeline probes every run, so this only
+// fires in engines with private read paths; counting keeps Stats' miss
+// total — and so the ablation's hit rate — honest.
+func (c *Cache) AddBypass(pages int64) {
+	if c.Enabled() && pages > 0 {
+		c.bypassed.Add(pages)
+	}
+}
+
+// Len returns the number of resident pages.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns hit and miss counts.
+// Stats returns hit and miss counts. Misses include bypassed pages: a
+// page the engine read from the device without asking the cache is a miss
+// the old accounting silently dropped.
 func (c *Cache) Stats() (hits, misses int64) {
+	d := c.StatsDetail()
+	return d.Hits, d.Misses
+}
+
+// StatsDetail returns the full counter set, aggregated over shards.
+func (c *Cache) StatsDetail() metrics.CacheStats {
+	var d metrics.CacheStats
 	if c == nil {
-		return 0, 0
+		return d
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.shards {
+		d.Hits += s.hits.Load()
+		d.Misses += s.misses.Load()
+		d.Evictions += s.evictions.Load()
+		d.GhostHits += s.ghostHits.Load()
+		d.Rejected += s.rejected.Load()
+	}
+	d.Bypassed = c.bypassed.Load()
+	d.Misses += d.Bypassed
+	return d
 }
 
 // Bytes returns the cache capacity in bytes (for memory accounting).
@@ -119,4 +599,37 @@ func (c *Cache) Bytes() int64 {
 		return 0
 	}
 	return int64(c.cap) * graph.PageSize
+}
+
+// NumShards returns the shard count (tests and diagnostics).
+func (c *Cache) NumShards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// Reset drops every entry and returns the arena chunks to the shared pool.
+// Counters and interned identities are kept.
+func (c *Cache) Reset() {
+	if !c.Enabled() {
+		return
+	}
+	for i, s := range c.shards {
+		s.mu.Lock()
+		for _, ch := range s.arena {
+			if ch != nil {
+				chunkPool.Put(ch)
+			}
+		}
+		fresh := newShard(s.cap, s.policy)
+		// Preserve the counter totals across the rebuild.
+		fresh.hits.Store(s.hits.Load())
+		fresh.misses.Store(s.misses.Load())
+		fresh.evictions.Store(s.evictions.Load())
+		fresh.ghostHits.Store(s.ghostHits.Load())
+		fresh.rejected.Store(s.rejected.Load())
+		c.shards[i] = fresh
+		s.mu.Unlock()
+	}
 }

@@ -84,19 +84,30 @@ type Reader struct {
 	// hands out one per call regardless). Leftovers are returned when the
 	// page list runs out or the pipeline fails.
 	Batched bool
-	// Probe, when non-nil, checks a page cache for the single page at
-	// buf.Start before any request is formed; on a hit the reader charges
-	// HitCost, pushes the buffer downstream, and moves to the next page.
-	// Merged runs are never probed: the cache serves one page per buffer
-	// (see the Fill contract).
-	Probe func(io exec.Proc, buf *Buffer) bool
-	// HitCost is the model time charged per cache hit.
+	// ProbeRun, when non-nil, probes a page cache for the merged run of n
+	// pages starting at buf.Start before the device request is formed. It
+	// copies whatever it can serve into buf.Data and returns the served
+	// leading (prefix) and trailing (suffix) page counts:
+	//
+	//   - prefix+suffix == n: the whole run came from cache; the reader
+	//     charges HitCost per page and pushes the buffer with no device IO.
+	//   - 0 < prefix+suffix < n: the reader trims the device read to the
+	//     uncached middle span [prefix, n-suffix), charging HitCost per
+	//     served page plus the submit cost of the shrunken request.
+	//   - prefix+suffix == 0: clean fall-through to a full-run read.
+	//
+	// Implementations must only serve contiguous prefixes/suffixes — the
+	// device read is a single span — and never return prefix+suffix > n.
+	ProbeRun func(io exec.Proc, buf *Buffer, n int) (prefix, suffix int)
+	// HitCost is the model time charged per page served from the cache.
 	HitCost int64
-	// Fill, when non-nil, inserts a successfully read buffer's pages into
-	// the cache before the buffer is handed downstream. Implementations
-	// synchronize (Proc.Sync) before touching the shared cache and should
-	// hoist key construction ahead of the synchronized section.
-	Fill func(io exec.Proc, buf *Buffer)
+	// Fill, when non-nil, inserts the device-read pages [lo, hi) of a
+	// successfully read buffer into the cache before the buffer is handed
+	// downstream (cache-served pages outside that range are already
+	// resident). Implementations synchronize (Proc.Sync) before touching
+	// the shared cache and should hoist key construction ahead of the
+	// synchronized section.
+	Fill func(io exec.Proc, buf *Buffer, lo, hi int)
 	// WrapErr decorates an unrecoverable device error with engine context.
 	WrapErr func(error) error
 	// Tracer, when non-nil, attaches a per-proc trace ring (stage "io",
@@ -152,22 +163,33 @@ func (r *Reader) Run(io exec.Proc) {
 		}
 		buf.Dev = r.Dev
 		buf.Start = pages[i]
-		buf.NumPages = 1
-		// Page-cache hit: serve the single page from memory, no device
-		// time.
-		if r.Probe != nil && r.Probe(io, buf) {
-			io.Advance(r.HitCost)
-			if tr.Active() {
-				tr.Instant(trace.OpCacheHit, int32(r.Dev), io.Now(), buf.Start)
-			}
-			r.Filled.Push(io, buf)
-			i++
-			continue
-		}
 		n, next := r.Merge(pages, i)
 		buf.NumPages = n
-		io.Advance(r.SubmitCost(n))
-		done, err := r.Device.ScheduleRead(io, pages[i], n, buf.Data[:n*ssd.PageSize])
+		// Page-cache probe over the whole merged run: a full hit serves
+		// every page from memory with no device time; a partial hit trims
+		// the cached prefix/suffix off the device request.
+		lo, hi := 0, n
+		if r.ProbeRun != nil {
+			prefix, suffix := r.ProbeRun(io, buf, n)
+			lo, hi = prefix, n-suffix
+			if served := prefix + suffix; served >= n {
+				io.Advance(r.HitCost * int64(n))
+				if tr.Active() {
+					tr.Instant(trace.OpCacheHit, int32(r.Dev), io.Now(), int64(n))
+				}
+				r.Filled.Push(io, buf)
+				i = next
+				continue
+			} else if served > 0 {
+				io.Advance(r.HitCost * int64(served))
+				if tr.Active() {
+					tr.Instant(trace.OpCacheHit, int32(r.Dev), io.Now(), int64(served))
+				}
+			}
+		}
+		io.Advance(r.SubmitCost(hi - lo))
+		done, err := r.Device.ScheduleRead(io, pages[i]+int64(lo), hi-lo,
+			buf.Data[lo*ssd.PageSize:hi*ssd.PageSize])
 		if err != nil {
 			// Unrecoverable read (retries exhausted or permanent): latch
 			// the failure, hand the buffer back, and stop this device's
@@ -181,7 +203,7 @@ func (r *Reader) Run(io exec.Proc) {
 			break
 		}
 		if r.Fill != nil {
-			r.Fill(io, buf)
+			r.Fill(io, buf, lo, hi)
 		}
 		r.Filled.PushAt(io, buf, done)
 		if tr.Active() {

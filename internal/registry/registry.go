@@ -61,11 +61,16 @@ type Options struct {
 	BinCount      int
 	BinSpaceBytes int64
 	IOBufferBytes int64
-	// CacheBytes overrides flashgraph's LRU page-cache budget (0 = its
-	// 64 MB default); PageCache optionally puts a cache in front of the
-	// blaze engines.
+	// CacheBytes overrides flashgraph's built-in LRU page-cache budget
+	// (0 = its 64 MB default).
 	CacheBytes int64
-	PageCache  *pagecache.Cache
+	// PageCache optionally puts a shared page cache in front of the blaze
+	// engines; when nil and PageCacheBytes > 0, BlazeConfig constructs a
+	// fresh cache of that size with CachePolicy eviction (CLOCK by
+	// default, LRU for the ablation baseline).
+	PageCache      *pagecache.Cache
+	PageCacheBytes int64
+	CachePolicy    pagecache.Policy
 	// Pool retains blaze IO/bin buffers across EdgeMap rounds (real-time
 	// backend only).
 	Pool *engine.Pool
@@ -109,6 +114,9 @@ func (o Options) BlazeConfig() engine.Config {
 	cfg.Mem = o.Mem
 	cfg.Pool = o.Pool
 	cfg.PageCache = o.PageCache
+	if cfg.PageCache == nil && o.PageCacheBytes > 0 {
+		cfg.PageCache = pagecache.NewWithPolicy(o.PageCacheBytes, o.CachePolicy)
+	}
 	if o.BinCount > 0 {
 		cfg.BinCount = o.BinCount
 	}

@@ -23,6 +23,7 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
+	"blaze/internal/pagecache"
 	"blaze/internal/pipeline"
 	"blaze/internal/ssd"
 	"blaze/internal/trace"
@@ -88,10 +89,21 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	free, filled := pipeline.NewQueues(ctx, bufCount)
 	pipeline.Stock(p, free, bufCount, bufLen)
 
+	// The optional page cache (a Blaze-side extension, see engine.EdgeMap)
+	// applies to the sync variant too: same run probing, same fill of the
+	// device-read span only.
+	cache := cfg.PageCache
+	var gid pagecache.ID
+	var stride int64
+	if cache.Enabled() {
+		gid = cache.GraphID(g.Name)
+		stride = int64(numDev)
+	}
+
 	ab := &exec.Latch{}
 	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
-		readers[d] = &pipeline.Reader{
+		r := &pipeline.Reader{
 			Name:       fmt.Sprintf("sync-io%d", d),
 			Device:     g.Arr.Device(d),
 			Dev:        d,
@@ -106,6 +118,22 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				return fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err)
 			},
 		}
+		if cache.Enabled() {
+			r.HitCost = m.PageOverhead / 2
+			r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
+				base := g.Arr.Logical(buf.Dev, buf.Start)
+				return cache.ProbeRun(gid, base, stride, n, buf.Data)
+			}
+			r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
+				base := g.Arr.Logical(buf.Dev, buf.Start)
+				io.Sync()
+				for pg := lo; pg < hi; pg++ {
+					cache.Put(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
+						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+				}
+			}
+		}
+		readers[d] = r
 	}
 	ioWG := ctx.NewWaitGroup()
 	ioWG.Add(numDev)

@@ -102,10 +102,18 @@ const (
 	// OpDevRetry is an instant marking one retried transient read; Dev is
 	// the device.
 	OpDevRetry
-	// OpCacheHit is an instant marking a page served from the page cache
-	// instead of the device; Dev is the device the page would have come
-	// from.
+	// OpCacheHit is an instant marking pages served from the page cache
+	// instead of the device; Dev is the device the pages would have come
+	// from, Arg the number of pages the probe served (a merged run can be
+	// fully or partially cached).
 	OpCacheHit
+	// OpCacheEvict is an instant marking one resident page displaced from
+	// the page cache by a fill; Dev is the device the filling read used.
+	OpCacheEvict
+	// OpCacheGhostHit is an instant marking a page readmitted to the cache
+	// while its key was still on the ghost list (a recently evicted page
+	// that came back); Dev is the device the filling read used.
+	OpCacheGhostHit
 	// OpIOWait is a reader span spent blocked claiming a free buffer.
 	OpIOWait
 	// OpSinkWait is a sink span spent blocked on the filled queue.
@@ -129,7 +137,8 @@ const (
 
 // opNames indexes by Op for export and summaries.
 var opNames = [...]string{
-	"phase", "dev-read", "dev-retry", "cache-hit", "io-wait",
+	"phase", "dev-read", "dev-retry", "cache-hit", "cache-evict",
+	"cache-ghost-hit", "io-wait",
 	"sink-wait", "sink-buf", "bin-flush", "gather-bin",
 	"free-len", "filled-len", "full-len",
 }
