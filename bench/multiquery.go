@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"blaze/algo"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/registry"
+	"blaze/internal/session"
+	"blaze/internal/ssd"
+)
+
+// MultiQueryCounts are the concurrency levels the multiquery snapshot
+// sweeps.
+var MultiQueryCounts = []int{1, 2, 4, 8}
+
+// MultiQueryEntry is one (engine, query, Q) measurement of the concurrent
+// graph-session snapshot: Q replicas of the query executed against one
+// shared session (shared page cache, per-device coalescing schedulers,
+// DRR bandwidth sharing) after one warmup run of the same query.
+type MultiQueryEntry struct {
+	Engine string `json:"engine"`
+	Query  string `json:"query"`
+	Graph  string `json:"graph"`
+	Q      int    `json:"q"`
+	// MakespanNs is virtual time from concurrent launch to the last
+	// query's completion (warmup excluded).
+	MakespanNs int64 `json:"makespan_ns"`
+	// ReadBytes are device bytes the Q queries read; CoalescedPages are
+	// page reads served by attaching to a peer's pending device read.
+	ReadBytes      int64 `json:"read_bytes"`
+	CoalescedPages int64 `json:"coalesced_pages"`
+	// AggThroughputScale is Q×makespan(1)/makespan(Q) — aggregate query
+	// throughput relative to the session's own Q=1 run (1.0 at Q=1; ideal
+	// sharing approaches Q).
+	AggThroughputScale float64 `json:"agg_throughput_scale"`
+}
+
+// MultiQueryRun measures Q concurrent replicas of query on engine over
+// one warmed shared session and returns makespan, device bytes, and
+// coalesced pages for the measured (post-warmup) window.
+func MultiQueryRun(d *Dataset, engine, query string, q int) MultiQueryEntry {
+	ctx := exec.NewSim()
+	stats := metrics.NewIOStats(8)
+	out, in := d.Graphs(ctx, 1, ssd.OptaneSSD, stats, nil)
+	// A shared cache of half the forward adjacency: big enough that the
+	// warmup leaves a useful working set, small enough that quota pressure
+	// between queries is real.
+	cache := pagecache.New(int64(d.CSR.NumPages()) * ssd.PageSize / 2)
+	sess, err := session.New(ctx, out, in, session.Config{
+		Engine: engine,
+		Base: registry.Options{
+			Edges:   d.CSR.E,
+			Workers: 16,
+			NumDev:  1,
+			Profile: ssd.OptaneSSD,
+			Stats:   stats,
+		},
+		Cache: cache,
+		Stats: stats,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: multiquery: %v", err))
+	}
+	body := multiQueryBody(d, out, in, query)
+	e := MultiQueryEntry{Engine: engine, Query: query, Graph: d.Preset.Short, Q: q}
+	ctx.Run("main", func(p exec.Proc) {
+		// Warm the shared cache with one serial run of the same query.
+		if _, err := sess.Run(p, body); err != nil {
+			panic(fmt.Sprintf("bench: multiquery warmup: %v", err))
+		}
+		startNs := p.Now()
+		startBytes := stats.TotalBytes()
+		startCoal := stats.CoalescedPages()
+		bodies := make([]session.Body, q)
+		for i := range bodies {
+			bodies[i] = body
+		}
+		qs, err := sess.Run(p, bodies...)
+		if err != nil {
+			panic(fmt.Sprintf("bench: multiquery: %v", err))
+		}
+		var end int64
+		for _, qq := range qs {
+			if qq.EndNs > end {
+				end = qq.EndNs
+			}
+		}
+		e.MakespanNs = end - startNs
+		e.ReadBytes = stats.TotalBytes() - startBytes
+		e.CoalescedPages = stats.CoalescedPages() - startCoal
+	})
+	return e
+}
+
+// multiQueryBody returns the session body that executes one replica of
+// the named query. Replicas are identical — the warmed repeat-analytics
+// workload where sharing pays most — and results are discarded (the
+// concurrent conformance tests check answers; this is the perf harness).
+func multiQueryBody(d *Dataset, out, in *engine.Graph, query string) session.Body {
+	return func(p exec.Proc, q *session.Query) error {
+		switch query {
+		case "bfs":
+			_, err := algo.BFS(q.Sys, p, out, d.Start)
+			return err
+		case "pr":
+			_, err := algo.PageRank(q.Sys, p, out, 1e-9, 5)
+			return err
+		case "wcc":
+			_, err := algo.WCC(q.Sys, p, out, in)
+			return err
+		case "spmv":
+			x := make([]float64, out.NumVertices())
+			for i := range x {
+				x[i] = 1
+			}
+			_, err := algo.SpMV(q.Sys, p, out, x)
+			return err
+		}
+		return fmt.Errorf("bench: multiquery: unknown query %q", query)
+	}
+}
+
+// MultiQuerySnapshot sweeps Q over MultiQueryCounts for the session
+// engines' flagship workload (blaze bfs, plus blaze spmv as the
+// full-scan/maximal-coalescing case) and fills AggThroughputScale
+// relative to each sweep's Q=1 entry.
+func MultiQuerySnapshot(scale float64) ([]MultiQueryEntry, error) {
+	d, err := Load("r2", scale)
+	if err != nil {
+		return nil, err
+	}
+	var entries []MultiQueryEntry
+	for _, w := range []struct{ engine, query string }{
+		{"blaze", "bfs"},
+		{"blaze", "spmv"},
+	} {
+		var base int64
+		for _, q := range MultiQueryCounts {
+			e := MultiQueryRun(d, w.engine, w.query, q)
+			if q == 1 {
+				base = e.MakespanNs
+			}
+			if e.MakespanNs > 0 && base > 0 {
+				e.AggThroughputScale = float64(q) * float64(base) / float64(e.MakespanNs)
+			}
+			entries = append(entries, e)
+		}
+	}
+	SortMultiQuery(entries)
+	return entries, nil
+}
+
+// SortMultiQuery orders entries by (engine, query, q) so snapshot files
+// diff cleanly.
+func SortMultiQuery(entries []MultiQueryEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Q < b.Q
+	})
+}
+
+// WriteMultiQuerySnapshot writes the entries as indented JSON to path.
+func WriteMultiQuerySnapshot(path string, entries []MultiQueryEntry) error {
+	SortMultiQuery(entries)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestMultiQueryScalingFloor is the CI concurrent-session gate: on the
+// warmed repeat-BFS workload, four concurrent replicas sharing one session
+// must deliver at least 1.5x the aggregate throughput of running them one
+// at a time. Falling under the floor means the shared IO layer stopped
+// paying for itself (coalescing broken, DRR over-throttling, or the quota
+// evicting the shared working set).
+func TestMultiQueryScalingFloor(t *testing.T) {
+	d := MustLoad("r2", DefaultScale)
+	base := MultiQueryRun(d, "blaze", "bfs", 1)
+	q4 := MultiQueryRun(d, "blaze", "bfs", 4)
+	if base.MakespanNs == 0 || q4.MakespanNs == 0 {
+		t.Fatalf("empty makespans: Q=1 %dns, Q=4 %dns", base.MakespanNs, q4.MakespanNs)
+	}
+	scale := 4 * float64(base.MakespanNs) / float64(q4.MakespanNs)
+	if scale < 1.5 {
+		t.Errorf("Q=4 aggregate throughput %.2fx under floor 1.5x (Q=1 %dns, Q=4 %dns)",
+			scale, base.MakespanNs, q4.MakespanNs)
+	}
+	if q4.CoalescedPages == 0 {
+		t.Error("four identical concurrent traversals coalesced no reads")
+	}
+}
+
+// TestMultiQueryCoalescingSavesReads: two concurrent BFS replicas against
+// one session must issue measurably fewer device reads than two serial
+// runs of the same query — the ISSUE's headline acceptance criterion.
+func TestMultiQueryCoalescingSavesReads(t *testing.T) {
+	d := MustLoad("r2", DefaultScale)
+	q1 := MultiQueryRun(d, "blaze", "bfs", 1)
+	q2 := MultiQueryRun(d, "blaze", "bfs", 2)
+	if q1.ReadBytes == 0 {
+		t.Skip("warmed single BFS reads nothing from the device; coalescing unmeasurable")
+	}
+	if q2.ReadBytes >= 2*q1.ReadBytes {
+		t.Errorf("2 concurrent BFS read %d bytes, 2 serial read %d — sharing saved nothing",
+			q2.ReadBytes, 2*q1.ReadBytes)
+	}
+}
+
+// shuffledMultiQueryEntries covers all three sort keys out of order, with
+// the expected final position encoded in MakespanNs.
+func shuffledMultiQueryEntries() []MultiQueryEntry {
+	return []MultiQueryEntry{
+		{Engine: "flashgraph", Query: "bfs", Q: 1, MakespanNs: 5},
+		{Engine: "blaze", Query: "spmv", Q: 2, MakespanNs: 4},
+		{Engine: "blaze", Query: "bfs", Q: 4, MakespanNs: 2},
+		{Engine: "blaze", Query: "spmv", Q: 1, MakespanNs: 3},
+		{Engine: "blaze", Query: "bfs", Q: 1, MakespanNs: 1},
+	}
+}
+
+// TestSortMultiQuery pins the (engine, query, Q) ordering that makes
+// snapshot files diff cleanly run over run.
+func TestSortMultiQuery(t *testing.T) {
+	entries := shuffledMultiQueryEntries()
+	SortMultiQuery(entries)
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Q < b.Q
+	}) {
+		t.Fatalf("SortMultiQuery left entries unsorted: %+v", entries)
+	}
+	for i, e := range entries {
+		if e.MakespanNs != int64(i+1) {
+			t.Fatalf("position %d holds entry %+v, want makespan %d", i, e, i+1)
+		}
+	}
+}
+
+// TestWriteMultiQuerySnapshotDeterministic: the same measurements in any
+// input order produce byte-identical snapshot files.
+func TestWriteMultiQuerySnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	shuffled := filepath.Join(dir, "shuffled.json")
+	ordered := filepath.Join(dir, "ordered.json")
+	if err := WriteMultiQuerySnapshot(shuffled, shuffledMultiQueryEntries()); err != nil {
+		t.Fatal(err)
+	}
+	pre := shuffledMultiQueryEntries()
+	SortMultiQuery(pre)
+	if err := WriteMultiQuerySnapshot(ordered, pre); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("multiquery snapshot bytes depend on input order:\n%s\nvs\n%s", a, b)
+	}
+	var entries []MultiQueryEntry
+	if err := json.Unmarshal(a, &entries); err != nil {
+		t.Fatalf("multiquery snapshot is not valid JSON: %v", err)
+	}
+	if len(entries) != len(pre) || entries[0].Engine != "blaze" || entries[0].Q != 1 {
+		t.Fatalf("unexpected decoded snapshot head: %+v", entries[:1])
+	}
+}
+
+// TestMultiQuerySnapshotShape runs the real snapshot end to end at the
+// default scale and checks the invariants the CI gate relies on: every
+// (engine, query) sweep has a Q=1 anchor at scale 1.0, scale grows with Q
+// past the 1.5x floor at Q=4, and concurrency coalesces reads.
+func TestMultiQuerySnapshotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight measured runs; skipped in -short mode")
+	}
+	entries, err := MultiQuerySnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2*len(MultiQueryCounts) {
+		t.Fatalf("got %d entries, want %d ({bfs,spmv} x Q sweep)", len(entries), 2*len(MultiQueryCounts))
+	}
+	for _, e := range entries {
+		if e.Q == 1 {
+			if e.AggThroughputScale != 1.0 {
+				t.Errorf("%s/%s Q=1 scale %.3f, want 1.0", e.Engine, e.Query, e.AggThroughputScale)
+			}
+			continue
+		}
+		if e.AggThroughputScale <= 1.0 {
+			t.Errorf("%s/%s Q=%d aggregate scale %.2fx — concurrency slower than serial",
+				e.Engine, e.Query, e.Q, e.AggThroughputScale)
+		}
+		if e.Q >= 4 && e.AggThroughputScale < 1.5 {
+			t.Errorf("%s/%s Q=%d aggregate scale %.2fx under CI floor 1.5x",
+				e.Engine, e.Query, e.Q, e.AggThroughputScale)
+		}
+		if e.CoalescedPages == 0 && e.ReadBytes > 0 {
+			t.Errorf("%s/%s Q=%d read %d bytes but coalesced nothing",
+				e.Engine, e.Query, e.Q, e.ReadBytes)
+		}
+	}
+}

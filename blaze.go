@@ -52,6 +52,7 @@ import (
 	"blaze/internal/graph"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
+	"blaze/internal/session"
 	"blaze/internal/ssd"
 )
 
@@ -82,6 +83,12 @@ type Runtime struct {
 	tl      *metrics.Timeline
 	mem     *metrics.MemAccount
 	elapsed int64
+
+	// Concurrent-session knobs (RunConcurrent).
+	interleaveSeed uint64
+	drrQuantum     int64
+	noCoalesce     bool
+	noDRR          bool
 }
 
 // Option configures a Runtime.
@@ -205,6 +212,35 @@ func WithRetryPolicy(maxRetries int, backoffNs int64) Option {
 	}
 }
 
+// WithInterleaveSeed sets the deterministic interleave seed RunConcurrent
+// uses under the simulated backend: a fixed seed reproduces the exact same
+// concurrent schedule run after run, different seeds exercise different
+// interleavings (default 1).
+func WithInterleaveSeed(seed uint64) Option {
+	return func(rt *Runtime) { rt.interleaveSeed = seed }
+}
+
+// WithDRRQuantum sets the deficit-round-robin bandwidth-sharing quantum in
+// bytes for concurrent sessions (default 1 MB): how far one query may run
+// ahead of its most-starved peer on a backlogged device before its
+// submissions are delayed.
+func WithDRRQuantum(bytes int64) Option {
+	return func(rt *Runtime) { rt.drrQuantum = bytes }
+}
+
+// WithCoalescing toggles cross-query IO coalescing in concurrent sessions
+// (default on): overlapping page runs requested by different queries cost
+// one device read.
+func WithCoalescing(enabled bool) Option {
+	return func(rt *Runtime) { rt.noCoalesce = !enabled }
+}
+
+// WithDRRSharing toggles deficit-round-robin bandwidth sharing between
+// concurrent queries (default on).
+func WithDRRSharing(enabled bool) Option {
+	return func(rt *Runtime) { rt.noDRR = !enabled }
+}
+
 // WithCostModel overrides the virtual-time cost model.
 func WithCostModel(m costmodel.Model) Option {
 	return func(rt *Runtime) { rt.cfg.Model = m }
@@ -247,6 +283,17 @@ func New(opts ...Option) *Runtime {
 type Ctx struct {
 	rt *Runtime
 	P  exec.Proc
+	// cfg, when non-nil, is this Ctx's per-query engine config (concurrent
+	// sessions give every query its own identity, scheduler table, and
+	// attributed counters); nil falls back to the runtime config.
+	cfg *engine.Config
+}
+
+func (c *Ctx) config() engine.Config {
+	if c.cfg != nil {
+		return *c.cfg
+	}
+	return c.rt.cfg
 }
 
 // Run executes fn under the runtime's clock and records the makespan.
@@ -391,12 +438,108 @@ func EdgeMap[V any](c *Ctx, g *Graph, f *VertexSubset,
 	gather func(d uint32, v V) bool,
 	cond func(d uint32) bool,
 	output bool) (*VertexSubset, error) {
-	out, _, err := engine.EdgeMap(c.rt.ctx, c.P, g, f, scatter, gather, cond, output, c.rt.cfg)
+	out, _, err := engine.EdgeMap(c.rt.ctx, c.P, g, f, scatter, gather, cond, output, c.config())
 	return out, err
 }
 
 // VertexMap applies fn to every vertex in f, returning the vertices for
 // which fn was true.
 func VertexMap(c *Ctx, f *VertexSubset, fn func(v uint32) bool) *VertexSubset {
-	return engine.VertexMap(c.P, f, fn, c.rt.cfg)
+	return engine.VertexMap(c.P, f, fn, c.config())
 }
+
+// QueryReport summarizes one query of a RunConcurrent session: its
+// attributed device IO (reads it caused, reads it attached to), its share
+// of the page cache's service, and its makespan.
+type QueryReport struct {
+	ID        int32
+	Err       error
+	ElapsedNs int64
+	// DeviceReadBytes/Pages are device reads this query caused; coalesced
+	// attaches to another query's pending read are counted separately in
+	// CoalescedPages and never as device reads.
+	DeviceReadBytes int64
+	DeviceReadPages int64
+	CoalescedPages  int64
+	// Cache is the query's attributed share of the shared page cache
+	// (zero without WithPageCache).
+	Cache CacheStats
+}
+
+// RunConcurrent loads one graph and executes the query bodies against it
+// concurrently as one shared session: one resident graph, one page cache
+// (when WithPageCache is set, split fairly between the active queries),
+// and one shared IO scheduler per device that coalesces overlapping reads
+// across queries and shares bandwidth by deficit round-robin. Under the
+// simulated backend the concurrent schedule is deterministic for a fixed
+// WithInterleaveSeed.
+//
+// Every query gets its own Ctx (same Runtime, its own identity); bodies
+// run concurrently, so per-query state must not be shared between them.
+// Per-query failures land in the reports, and the first non-nil error
+// (load or query) is also returned.
+func (rt *Runtime) RunConcurrent(load func(*Ctx) (*Graph, error),
+	queries ...func(*Ctx, *Graph) error) ([]QueryReport, error) {
+
+	var reports []QueryReport
+	var retErr error
+	rt.ctx.Run("main", func(p exec.Proc) {
+		c := &Ctx{rt: rt, P: p}
+		g, err := load(c)
+		if err != nil {
+			retErr = err
+			return
+		}
+		sess, err := session.New(rt.ctx, g, nil, session.Config{
+			Cache:        rt.cfg.PageCache,
+			QuantumBytes: rt.drrQuantum,
+			NoCoalesce:   rt.noCoalesce,
+			NoDRR:        rt.noDRR,
+			Seed:         rt.interleaveSeed,
+			Stats:        rt.stats,
+		})
+		if err != nil {
+			retErr = err
+			return
+		}
+		bodies := make([]session.Body, len(queries))
+		for i := range queries {
+			body := queries[i]
+			bodies[i] = func(qp exec.Proc, q *session.Query) error {
+				qcfg := sess.EngineConfig(rt.cfg, q)
+				if rt.cfg.Pool != nil {
+					// The run pool is single-query state; concurrent queries
+					// each retain their own.
+					qcfg.Pool = engine.NewPool()
+				}
+				return body(&Ctx{rt: rt, P: qp, cfg: &qcfg}, g)
+			}
+		}
+		qs, runErr := sess.Run(p, bodies...)
+		if retErr == nil {
+			retErr = runErr
+		}
+		reports = make([]QueryReport, len(qs))
+		for i, q := range qs {
+			reports[i] = QueryReport{
+				ID:              q.ID,
+				Err:             q.Err,
+				ElapsedNs:       q.ElapsedNs(),
+				DeviceReadBytes: q.IO.TotalBytes(),
+				DeviceReadPages: q.IO.PagesRead(),
+				CoalescedPages:  q.IO.CoalescedPages(),
+				Cache:           q.Cache.Snapshot(),
+			}
+		}
+		rt.elapsed = p.Now()
+	})
+	if s, ok := rt.ctx.(*exec.Sim); ok {
+		rt.elapsed = s.End
+	}
+	return reports, retErr
+}
+
+// CoalescedReadPages returns the total pages served by attaching to
+// another query's pending read across all RunConcurrent sessions so far
+// (0 outside concurrent runs).
+func (rt *Runtime) CoalescedReadPages() int64 { return rt.stats.CoalescedPages() }

@@ -57,6 +57,7 @@ func run() (code int) {
 	list := flag.Bool("list", false, "list experiments and exit")
 	snapshot := flag.String("snapshot", "", "write a short-sim pipeline perf snapshot (makespan + allocs per engine) to this JSON file and exit")
 	snapshotPC := flag.String("snapshot-pagecache", "", "write a short-sim page-cache ablation snapshot (LRU vs CLOCK by cache size, with hit rates) to this JSON file and exit")
+	snapshotMQ := flag.String("snapshot-multiquery", "", "write a short-sim concurrent-session snapshot (aggregate throughput and coalesced reads at Q=1/2/4/8) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -136,6 +137,25 @@ func run() (code int) {
 				float64(e.ReadBytes)/1e6, e.HitRate, e.Evictions, e.GhostHits)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotPC)
+		return 0
+	}
+
+	if *snapshotMQ != "" {
+		entries, err := bench.MultiQuerySnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-multiquery: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteMultiQuerySnapshot(*snapshotMQ, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-multiquery: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-8s %-5s Q=%d makespan=%8.3fms read=%6.1fMB coalesced=%6d pages aggScale=%.2fx\n",
+				e.Engine, e.Query, e.Q, float64(e.MakespanNs)/1e6,
+				float64(e.ReadBytes)/1e6, e.CoalescedPages, e.AggThroughputScale)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotMQ)
 		return 0
 	}
 

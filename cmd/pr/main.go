@@ -21,9 +21,12 @@ func main() {
 	}
 	defer env.Close()
 	var rank []float64
-	var qerr error
-	env.Ctx.Run("main", func(p exec.Proc) {
-		rank, qerr = algo.PageRank(env.Sys, p, env.Out, opts.Epsilon, opts.MaxIters)
+	qs, qerr := env.RunQueries(opts, func(p exec.Proc, sys algo.System, i int) error {
+		r, err := algo.PageRank(sys, p, env.Out, opts.Epsilon, opts.MaxIters)
+		if i == 0 {
+			rank = r
+		}
+		return err
 	})
 	if qerr != nil {
 		log.Fatalf("pr: %v", qerr)
@@ -42,4 +45,5 @@ func main() {
 		extra += fmt.Sprintf(" v%d=%.3g", top[i].v, top[i].r)
 	}
 	env.Report("pr", extra)
+	env.ReportQueries(qs)
 }

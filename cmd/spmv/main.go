@@ -21,23 +21,25 @@ func main() {
 	}
 	defer env.Close()
 	var sum float64
-	var qerr error
-	env.Ctx.Run("main", func(p exec.Proc) {
+	qs, qerr := env.RunQueries(opts, func(p exec.Proc, sys algo.System, i int) error {
 		x := make([]float64, env.Out.NumVertices())
-		for i := range x {
-			x[i] = 1
+		for j := range x {
+			x[j] = 1
 		}
-		y, err := algo.SpMV(env.Sys, p, env.Out, x)
+		y, err := algo.SpMV(sys, p, env.Out, x)
 		if err != nil {
-			qerr = err
-			return
+			return err
 		}
-		for _, v := range y {
-			sum += v
+		if i == 0 {
+			for _, v := range y {
+				sum += v
+			}
 		}
+		return nil
 	})
 	if qerr != nil {
 		log.Fatalf("spmv: %v", qerr)
 	}
 	env.Report("spmv", fmt.Sprintf("sum(y) = %.0f (equals |E| for x = 1)", sum))
+	env.ReportQueries(qs)
 }

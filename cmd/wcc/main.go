@@ -24,12 +24,13 @@ func main() {
 	defer env.Close()
 	var components int
 	var largest int
-	var qerr error
-	env.Ctx.Run("main", func(p exec.Proc) {
-		ids, err := algo.WCC(env.Sys, p, env.Out, env.In)
+	qs, qerr := env.RunQueries(opts, func(p exec.Proc, sys algo.System, i int) error {
+		ids, err := algo.WCC(sys, p, env.Out, env.In)
 		if err != nil {
-			qerr = err
-			return
+			return err
+		}
+		if i != 0 {
+			return nil
 		}
 		sizes := map[uint32]int{}
 		for _, id := range ids {
@@ -41,9 +42,11 @@ func main() {
 				largest = n
 			}
 		}
+		return nil
 	})
 	if qerr != nil {
 		log.Fatalf("wcc: %v", qerr)
 	}
 	env.Report("wcc", fmt.Sprintf("%d components, largest has %d vertices", components, largest))
+	env.ReportQueries(qs)
 }

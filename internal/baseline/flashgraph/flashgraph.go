@@ -24,6 +24,7 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
+	"blaze/internal/iosched"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/pipeline"
@@ -44,6 +45,28 @@ type Config struct {
 	// Tracer, when non-nil, attaches per-proc trace rings to the pipeline
 	// stages (see internal/trace).
 	Tracer *trace.Tracer
+
+	// Scheds, when non-nil, switches the baseline into session mode: device
+	// reads route through the device's shared scheduler from this table
+	// (cross-query coalescing + DRR; see internal/iosched). The LRU page
+	// cache stays private to this instance, i.e. per query — FlashGraph's
+	// per-application cache, faithfully.
+	Scheds *iosched.Table
+	// QueryID identifies this instance's query within the session
+	// (meaningful only with Scheds non-nil).
+	QueryID int32
+	// QueryCache, when non-nil, receives this query's attributed cache
+	// counters.
+	QueryCache *metrics.CacheCounters
+}
+
+// traceQuery returns the trace query dimension: QueryID in session mode,
+// -1 otherwise.
+func (c Config) traceQuery() int32 {
+	if c.Scheds != nil {
+		return c.QueryID
+	}
+	return -1
 }
 
 // DefaultConfig mirrors the paper's 16-thread comparison setup with a
@@ -129,7 +152,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ComputeWorkers
 
-	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	ctr := cfg.Tracer.AttachQuery(p, trace.StageCoord, -1, cfg.traceQuery())
 	var t0 int64
 	if ctr.Active() {
 		t0 = p.Now()
@@ -169,6 +192,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			Name:       fmt.Sprintf("fg-io%d", dev),
 			Device:     g.Arr.Device(dev),
 			Dev:        dev,
+			Query:      cfg.traceQuery(),
 			Pages:      ps.PerDev[dev],
 			Free:       free,
 			Filled:     filled,
@@ -179,7 +203,12 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			ProbeRun: func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
 				base := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
-				return s.cache.ProbeRun(gid, base, stride, n, buf.Data)
+				prefix, suffix = s.cache.ProbeRun(gid, base, stride, n, buf.Data)
+				if cfg.QueryCache != nil {
+					served := int64(prefix + suffix)
+					cfg.QueryCache.Add(served, int64(n)-served)
+				}
+				return prefix, suffix
 			},
 			Fill: func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
 				base := g.Arr.Logical(buf.Dev, buf.Start)
@@ -193,6 +222,9 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 			WrapErr: func(err error) error {
 				return fmt.Errorf("flashgraph: edgemap on %q: %w", g.Name, err)
 			},
+		}
+		if cfg.Scheds != nil {
+			readers[d].Sched = cfg.Scheds.For(readers[d].Device)
 		}
 	}
 	ioWG := ctx.NewWaitGroup()
@@ -208,7 +240,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("fg-scatter%d", id), func(sp exec.Proc) {
-			cfg.Tracer.Attach(sp, trace.StageScatter, int32(id))
+			cfg.Tracer.AttachQuery(sp, trace.StageScatter, int32(id), cfg.traceQuery())
 			local := make([][]message, workers)
 			flush := func(o int) {
 				if len(local[o]) == 0 {
@@ -275,7 +307,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("fg-process%d", id), func(pp exec.Proc) {
-			ptr := cfg.Tracer.Attach(pp, trace.StageGather, int32(id))
+			ptr := cfg.Tracer.AttachQuery(pp, trace.StageGather, int32(id), cfg.traceQuery())
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)

@@ -27,24 +27,33 @@ import (
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/registry"
+	"blaze/internal/session"
 	"blaze/internal/ssd"
 	"blaze/internal/trace"
 )
 
 // Options holds the parsed command line.
 type Options struct {
-	Engine         string
-	ComputeWorkers int
-	StartNode      uint
-	BinSpaceMB     int
-	BinCount       int
-	BinningRatio   float64
-	Devices        int
-	Profile        string
+	Engine          string
+	ComputeWorkers  int
+	StartNode       uint
+	BinSpaceMB      int
+	BinCount        int
+	BinningRatio    float64
+	Devices         int
+	Profile         string
 	Sim             bool
 	PageCacheMB     int
 	PageCachePolicy string
-	MaxIters        int
+
+	// Concurrent-session knobs (-concurrency > 1 runs the query that many
+	// times against one shared graph session; see internal/session).
+	Concurrency    int
+	DRRQuantum     int64
+	Coalesce       bool
+	DRR            bool
+	InterleaveSeed uint64
+	MaxIters       int
 	Epsilon        float64
 	InIndex        string
 	InAdj          string
@@ -116,6 +125,11 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.Float64Var(&o.Epsilon, "epsilon", 0.001, "PageRank-delta activation threshold")
 	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "page cache size in MB (0 = off, the paper's configuration); caches the blaze engines and overrides flashgraph's built-in budget")
 	fs.StringVar(&o.PageCachePolicy, "pageCachePolicy", "clock", "page-cache eviction policy: clock (sharded second chance) or lru (single-shard ablation baseline)")
+	fs.IntVar(&o.Concurrency, "concurrency", 1, "concurrent replicas of the query against one shared graph session (session-capable engines: "+strings.Join(registry.SessionNames(), ", ")+")")
+	fs.Int64Var(&o.DRRQuantum, "drrQuantum", 0, "DRR bandwidth-sharing quantum in bytes between concurrent queries (0 = 1 MB default)")
+	fs.BoolVar(&o.Coalesce, "coalesce", true, "coalesce overlapping device reads across concurrent queries")
+	fs.BoolVar(&o.DRR, "drr", true, "deficit-round-robin device bandwidth sharing between concurrent queries")
+	fs.Uint64Var(&o.InterleaveSeed, "interleaveSeed", 1, "deterministic interleave seed for concurrent -sim runs")
 	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	fs.BoolVar(&o.StageStats, "stageStats", false, "print the per-stage trace summary after the query")
 	fs.StringVar(&o.InIndex, "inIndexFilename", "", "transpose graph index file")
@@ -191,6 +205,10 @@ type Env struct {
 	// Cache is the page cache built for -pageCache, for the Report line;
 	// nil when the flag was 0.
 	Cache *pagecache.Cache
+
+	// RO is the registry option set Setup built the engine from; concurrent
+	// sessions construct each replica's engine from the same options.
+	RO registry.Options
 }
 
 // Setup loads the graphs and builds the engine selected by -engine
@@ -279,6 +297,7 @@ func Setup(o *Options) (*Env, error) {
 		ro.BinSpaceBytes = int64(o.BinSpaceMB) << 20
 	}
 	env.Cfg = ro.BlazeConfig()
+	env.RO = ro
 	sys, err := registry.New(o.Engine, ctx, ro)
 	if err != nil {
 		env.Close()
@@ -290,6 +309,67 @@ func Setup(o *Options) (*Env, error) {
 		return nil, fmt.Errorf("startNode %d out of range (|V| = %d)", o.StartNode, out.NumVertices())
 	}
 	return env, nil
+}
+
+// RunQueries executes body under the runtime clock: once directly on the
+// setup engine when -concurrency is 1 (the classic path, unchanged), or
+// -concurrency times concurrently against one shared graph session
+// otherwise. Each replica gets its own engine instance over the shared
+// graph, page cache, and per-device IO schedulers; body receives the
+// replica index so replicas can vary their parameters (e.g. BFS sources).
+// It returns the per-query reports (nil in the single-query case) and the
+// first error.
+func (e *Env) RunQueries(o *Options, body func(p exec.Proc, sys algo.System, i int) error) ([]*session.Query, error) {
+	if o.Concurrency <= 1 {
+		var err error
+		e.Ctx.Run("main", func(p exec.Proc) { err = body(p, e.Sys, 0) })
+		return nil, err
+	}
+	sess, err := session.New(e.Ctx, e.Out, e.In, session.Config{
+		Engine:       o.Engine,
+		Base:         e.RO,
+		Cache:        e.Cache,
+		QuantumBytes: o.DRRQuantum,
+		NoCoalesce:   !o.Coalesce,
+		NoDRR:        !o.DRR,
+		Seed:         o.InterleaveSeed,
+		Stats:        e.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([]session.Body, o.Concurrency)
+	for i := range bodies {
+		idx := i
+		bodies[idx] = func(p exec.Proc, q *session.Query) error {
+			return body(p, q.Sys, idx)
+		}
+	}
+	var qs []*session.Query
+	var runErr error
+	e.Ctx.Run("main", func(p exec.Proc) { qs, runErr = sess.Run(p, bodies...) })
+	return qs, runErr
+}
+
+// ReportQueries prints one attribution line per concurrent query plus the
+// session coalescing total (no-op for single-query runs).
+func (e *Env) ReportQueries(qs []*session.Query) {
+	if len(qs) == 0 {
+		return
+	}
+	for _, q := range qs {
+		cs := q.Cache.Snapshot()
+		line := fmt.Sprintf("query %d: time=%.3fs read=%.1fMB coalesced=%d pages",
+			q.ID, float64(q.ElapsedNs())/1e9,
+			float64(q.IO.TotalBytes())/1e6, q.IO.CoalescedPages())
+		if cs.Hits+cs.Misses > 0 {
+			line += fmt.Sprintf(" cacheHits=%d cacheMisses=%d quotaRejected=%d",
+				cs.Hits, cs.Misses, cs.QuotaRejected)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("session: %d queries, %d device reads coalesced away (%.1f MB)\n",
+		len(qs), e.Stats.CoalescedPages(), float64(e.Stats.CoalescedBytes())/1e6)
 }
 
 // Close releases graph files.

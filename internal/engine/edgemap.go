@@ -69,7 +69,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	// Phase spans on the coordinator's clock: source → pipeline → merge,
 	// back to back, so the trace summary's phase totals reconstruct the
 	// makespan exactly (what Summary.PhaseCoverage checks).
-	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	ctr := cfg.Tracer.AttachQuery(p, trace.StageCoord, -1, cfg.TraceQuery())
 	var t0 int64
 	if ctr.Active() {
 		t0 = p.Now()
@@ -166,6 +166,8 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		gid = cache.GraphID(g.Name)
 		stride = int64(numDev)
 	}
+	owner := cfg.CacheOwner()
+	qcache := cfg.QueryCache
 	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
 		dev := d
@@ -173,6 +175,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			Name:       fmt.Sprintf("io%d", dev),
 			Device:     g.Arr.Device(dev),
 			Dev:        dev,
+			Query:      cfg.TraceQuery(),
 			Pages:      ps.PerDev[dev],
 			Free:       free,
 			Filled:     filled,
@@ -185,11 +188,21 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				return fmt.Errorf("engine: edgemap on %q: %w", g.Name, err)
 			},
 		}
+		if cfg.Scheds != nil {
+			// Session mode: route this device's reads through the shared
+			// per-device scheduler (cross-query coalescing + DRR pacing).
+			r.Sched = cfg.Scheds.For(r.Device)
+		}
 		if cache.Enabled() {
 			r.HitCost = m.PageOverhead / 2
 			r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
 				base := g.Arr.Logical(buf.Dev, buf.Start)
-				return cache.ProbeRun(gid, base, stride, n, buf.Data)
+				prefix, suffix = cache.ProbeRun(gid, base, stride, n, buf.Data)
+				if qcache != nil {
+					served := int64(prefix + suffix)
+					qcache.Add(served, int64(n)-served)
+				}
+				return prefix, suffix
 			}
 			r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
 				// Key construction is pure: hoist the striped-array math out
@@ -202,8 +215,11 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 				ftr := trace.RingOf(io)
 				io.Sync()
 				for pg := lo; pg < hi; pg++ {
-					res := cache.Put(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
-						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+					res := cache.PutOwned(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
+						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize], owner)
+					if res&pagecache.PutQuotaRejected != 0 && qcache != nil {
+						qcache.AddQuotaRejected(1)
+					}
 					if ftr.Active() {
 						if res&pagecache.PutEvicted != 0 {
 							ftr.Instant(trace.OpCacheEvict, int32(buf.Dev), io.Now(), 1)
@@ -230,7 +246,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	for i := 0; i < cfg.ScatterProcs; i++ {
 		id := i
 		ctx.Go(fmt.Sprintf("scatter%d", id), func(sp exec.Proc) {
-			cfg.Tracer.Attach(sp, trace.StageScatter, int32(id))
+			cfg.Tracer.AttachQuery(sp, trace.StageScatter, int32(id), cfg.TraceQuery())
 			stager := stagers[id]
 			local := &scatStats[id]
 			pipeline.Drain(sp, free, filled, ab, true, func(buf *pipeline.Buffer) {
@@ -255,7 +271,7 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	for i := 0; i < cfg.GatherProcs; i++ {
 		id := i
 		ctx.Go(fmt.Sprintf("gather%d", id), func(gp exec.Proc) {
-			gtr := cfg.Tracer.Attach(gp, trace.StageGather, int32(id))
+			gtr := cfg.Tracer.AttachQuery(gp, trace.StageGather, int32(id), cfg.TraceQuery())
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)

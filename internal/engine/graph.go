@@ -12,6 +12,7 @@ import (
 	"blaze/internal/costmodel"
 	"blaze/internal/exec"
 	"blaze/internal/graph"
+	"blaze/internal/iosched"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/ssd"
@@ -139,6 +140,22 @@ type Config struct {
 	// attached-but-disabled — tracer leaves all hot paths on their untraced
 	// branches.
 	Tracer *trace.Tracer
+
+	// Scheds, when non-nil, switches the engine into session mode
+	// (internal/session): every device read routes through the device's
+	// shared scheduler from this table, which coalesces overlapping
+	// requests from concurrent queries and enforces DRR bandwidth sharing.
+	// Scheds nil is the classic single-query path, bit-for-bit unchanged.
+	Scheds *iosched.Table
+	// QueryID is this engine instance's query identity within the session:
+	// it owns the instance's cache admissions (quota accounting), scheduler
+	// requests, and trace rings. Meaningful only when Scheds is non-nil.
+	QueryID int32
+	// QueryCache, when non-nil (session mode), receives this query's
+	// attributed cache counters: pages the shared cache served to or
+	// rejected from this query specifically, rolled up alongside the
+	// cache-wide totals.
+	QueryCache *metrics.CacheCounters
 }
 
 // DefaultConfig mirrors the paper's defaults for a graph with e edges:
@@ -182,6 +199,24 @@ func (c Config) WithThreads(computeWorkers int, ratio float64) Config {
 	c.ScatterProcs = s
 	c.GatherProcs = computeWorkers - s
 	return c
+}
+
+// TraceQuery returns the query dimension for this config's trace rings:
+// the QueryID in session mode, -1 (single-query) otherwise.
+func (c Config) TraceQuery() int32 {
+	if c.Scheds != nil {
+		return c.QueryID
+	}
+	return -1
+}
+
+// CacheOwner returns the page-cache admission owner for this config: the
+// QueryID in session mode (quota-accounted), NoOwner otherwise.
+func (c Config) CacheOwner() int32 {
+	if c.Scheds != nil {
+		return c.QueryID
+	}
+	return pagecache.NoOwner
 }
 
 func (c Config) validate() error {

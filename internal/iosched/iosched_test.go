@@ -1,0 +1,188 @@
+package iosched
+
+import (
+	"bytes"
+	"testing"
+
+	"blaze/internal/exec"
+	"blaze/internal/metrics"
+	"blaze/internal/ssd"
+)
+
+// memDevice builds a one-device memory array of n pages with
+// deterministic page contents and returns the device plus its stats.
+func memDevice(ctx exec.Context, pages int) (*ssd.Device, *metrics.IOStats) {
+	data := make([]byte, pages*ssd.PageSize)
+	for i := range data {
+		data[i] = byte(i / ssd.PageSize)
+	}
+	stats := metrics.NewIOStats(1)
+	arr := ssd.NewMemArray(ctx, 1, ssd.OptaneSSD, data, stats, nil)
+	return arr.Device(0), stats
+}
+
+// TestCoalesceAttach: a request fully covered by a pending read attaches —
+// same data, same completion instant, no second device read.
+func TestCoalesceAttach(t *testing.T) {
+	ctx := exec.NewSim()
+	dev, stats := memDevice(ctx, 64)
+	sessStats := metrics.NewIOStats(1)
+	s := New(ctx, dev, Config{Stats: sessStats})
+	q0 := metrics.NewIOStats(1)
+	q1 := metrics.NewIOStats(1)
+	s.Register(0, q0)
+	s.Register(1, q1)
+
+	buf0 := make([]byte, 4*ssd.PageSize)
+	buf1 := make([]byte, 2*ssd.PageSize)
+	var done0, done1 int64
+	ctx.Run("main", func(p exec.Proc) {
+		var err error
+		done0, err = s.ScheduleRead(p, 0, 8, 4, buf0)
+		if err != nil {
+			t.Errorf("read 0: %v", err)
+		}
+		// Fully inside [8, 12) while that read is still in flight.
+		done1, err = s.ScheduleRead(p, 1, 9, 2, buf1)
+		if err != nil {
+			t.Errorf("read 1: %v", err)
+		}
+	})
+	if done1 != done0 {
+		t.Errorf("attached read completes at %d, covering read at %d", done1, done0)
+	}
+	if !bytes.Equal(buf1, buf0[ssd.PageSize:3*ssd.PageSize]) {
+		t.Error("attached read returned different data")
+	}
+	if got := stats.Requests(); got != 1 {
+		t.Errorf("device requests = %d, want 1 (second read coalesced)", got)
+	}
+	if got := sessStats.CoalescedPages(); got != 2 {
+		t.Errorf("session coalesced pages = %d, want 2", got)
+	}
+	if q0.CoalescedPages() != 0 || q0.PagesRead() != 4 {
+		t.Errorf("query 0 attribution = (%d read, %d coalesced), want (4, 0)",
+			q0.PagesRead(), q0.CoalescedPages())
+	}
+	if q1.CoalescedPages() != 2 || q1.PagesRead() != 0 {
+		t.Errorf("query 1 attribution = (%d read, %d coalesced), want (0, 2)",
+			q1.PagesRead(), q1.CoalescedPages())
+	}
+}
+
+// TestNoCoalesceKnob: with coalescing disabled the same pair costs two
+// device reads.
+func TestNoCoalesceKnob(t *testing.T) {
+	ctx := exec.NewSim()
+	dev, stats := memDevice(ctx, 64)
+	s := New(ctx, dev, Config{NoCoalesce: true})
+	ctx.Run("main", func(p exec.Proc) {
+		buf := make([]byte, 4*ssd.PageSize)
+		if _, err := s.ScheduleRead(p, 0, 8, 4, buf); err != nil {
+			t.Errorf("read 0: %v", err)
+		}
+		if _, err := s.ScheduleRead(p, 1, 9, 2, buf[:2*ssd.PageSize]); err != nil {
+			t.Errorf("read 1: %v", err)
+		}
+	})
+	if got := stats.Requests(); got != 2 {
+		t.Errorf("device requests = %d, want 2 with NoCoalesce", got)
+	}
+}
+
+// TestExpiredFlightNotAttached: once the covering read's completion time
+// has passed, a new request is a fresh device read (the data may have
+// left the submitter's buffer).
+func TestExpiredFlightNotAttached(t *testing.T) {
+	ctx := exec.NewSim()
+	dev, stats := memDevice(ctx, 64)
+	s := New(ctx, dev, Config{})
+	ctx.Run("main", func(p exec.Proc) {
+		buf := make([]byte, 4*ssd.PageSize)
+		done, err := s.ScheduleRead(p, 0, 8, 4, buf)
+		if err != nil {
+			t.Errorf("read 0: %v", err)
+		}
+		p.Advance(done - p.Now() + 1) // flight completes
+		if _, err := s.ScheduleRead(p, 1, 9, 2, buf[:2*ssd.PageSize]); err != nil {
+			t.Errorf("read 1: %v", err)
+		}
+	})
+	if got := stats.Requests(); got != 2 {
+		t.Errorf("device requests = %d, want 2 (flight expired)", got)
+	}
+}
+
+// TestDRRDelaysLeader: with a registered active peer and a backlogged
+// device, a query more than one quantum ahead has its submissions
+// delayed; with NoDRR (or no peer) it is never delayed.
+func TestDRRDelaysLeader(t *testing.T) {
+	elapsed := func(cfg Config, peers bool) int64 {
+		ctx := exec.NewSim()
+		dev, _ := memDevice(ctx, 4096)
+		s := New(ctx, dev, Config{QuantumBytes: 64 * ssd.PageSize, NoCoalesce: true, NoDRR: cfg.NoDRR})
+		s.Register(0, nil)
+		if peers {
+			s.Register(1, nil)
+		}
+		var end int64
+		ctx.Run("main", func(p exec.Proc) {
+			buf := make([]byte, 64*ssd.PageSize)
+			for i := int64(0); i < 32; i++ {
+				if _, err := s.ScheduleRead(p, 0, i*64, 64, buf); err != nil {
+					t.Errorf("read %d: %v", i, err)
+				}
+			}
+			end = p.Now()
+		})
+		return end
+	}
+	drr := elapsed(Config{}, true)
+	noDRR := elapsed(Config{NoDRR: true}, true)
+	solo := elapsed(Config{}, false)
+	if drr <= noDRR {
+		t.Errorf("leader with starved peer not delayed: drr=%dns noDRR=%dns", drr, noDRR)
+	}
+	if solo != noDRR {
+		t.Errorf("solo query delayed: solo=%dns noDRR=%dns (work conservation)", solo, noDRR)
+	}
+}
+
+// TestTableLookup: Table routes by device identity across arrays and
+// registers queries on every scheduler.
+func TestTableLookup(t *testing.T) {
+	ctx := exec.NewSim()
+	data := make([]byte, 16*ssd.PageSize)
+	arrA := ssd.NewMemArray(ctx, 2, ssd.OptaneSSD, data, nil, nil)
+	arrB := ssd.NewMemArray(ctx, 2, ssd.OptaneSSD, data, nil, nil)
+	tab := NewTable()
+	tab.AddArray(ctx, arrA, Config{})
+	tab.AddArray(ctx, arrB, Config{})
+	if len(tab.All()) != 4 {
+		t.Fatalf("table has %d schedulers, want 4", len(tab.All()))
+	}
+	seen := map[*Scheduler]bool{}
+	for _, arr := range []*ssd.Array{arrA, arrB} {
+		for d := 0; d < arr.NumDevices(); d++ {
+			s := tab.For(arr.Device(d))
+			if s == nil {
+				t.Fatalf("no scheduler for array device %d", d)
+			}
+			if s.Device() != arr.Device(d) {
+				t.Error("scheduler wraps a different device")
+			}
+			if seen[s] {
+				t.Error("two devices share a scheduler")
+			}
+			seen[s] = true
+		}
+	}
+	// Re-adding is idempotent.
+	tab.AddArray(ctx, arrA, Config{})
+	if len(tab.All()) != 4 {
+		t.Errorf("re-AddArray grew the table to %d", len(tab.All()))
+	}
+	if (*Table)(nil).For(arrA.Device(0)) != nil {
+		t.Error("nil table lookup not nil")
+	}
+}

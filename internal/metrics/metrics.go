@@ -141,13 +141,14 @@ func (t *Timeline) IdleFraction(thresholdBytesPerSec float64) float64 {
 // devCounters is one device's read accounting, padded to a cache line so
 // per-device updates from different IO procs never false-share.
 type devCounters struct {
-	bytes    atomic.Int64
-	epoch    atomic.Int64
-	requests atomic.Int64
-	pages    atomic.Int64
-	retries  atomic.Int64
-	errors   atomic.Int64
-	_        [16]byte // 6x8-byte counters + 16 pad = 64 bytes
+	bytes     atomic.Int64
+	epoch     atomic.Int64
+	requests  atomic.Int64
+	pages     atomic.Int64
+	retries   atomic.Int64
+	errors    atomic.Int64
+	coalesced atomic.Int64 // bytes served by attaching to an in-flight read
+	coalPages atomic.Int64 // pages served by attaching to an in-flight read
 }
 
 // IOStats aggregates per-device read counters for one execution, with an
@@ -171,6 +172,40 @@ func (s *IOStats) AddRead(dev int, bytes int64, pages int) {
 	d.requests.Add(1)
 	d.pages.Add(int64(pages))
 }
+
+// AddCoalesced records pages delivered by attaching to another request's
+// in-flight device read (cross-query IO coalescing): the data reached this
+// consumer without a second device read. Coalesced traffic is accounted
+// separately from bytes/pages, which keep counting only reads the device
+// actually served.
+func (s *IOStats) AddCoalesced(dev int, bytes int64, pages int) {
+	d := &s.dev[dev]
+	d.coalesced.Add(bytes)
+	d.coalPages.Add(int64(pages))
+}
+
+// CoalescedBytes returns the bytes delivered by attaching to in-flight
+// reads instead of issuing new device reads.
+func (s *IOStats) CoalescedBytes() int64 {
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].coalesced.Load()
+	}
+	return t
+}
+
+// CoalescedPages returns the pages delivered by attaching to in-flight
+// reads.
+func (s *IOStats) CoalescedPages() int64 {
+	var t int64
+	for i := range s.dev {
+		t += s.dev[i].coalPages.Load()
+	}
+	return t
+}
+
+// NumDevices returns the device count the stats were sized for.
+func (s *IOStats) NumDevices() int { return len(s.dev) }
 
 // AddRetry records one retried read attempt on device dev (a transient
 // device error that the retry policy absorbed).
@@ -279,6 +314,10 @@ type CacheStats struct {
 	Evictions int64 // resident pages displaced
 	GhostHits int64 // evicted keys readmitted while still on the ghost list
 	Rejected  int64 // puts dropped for violating page-size strictness
+	// QuotaRejected counts admissions dropped because the owning query was
+	// over its per-query share and held no victim of its own in the target
+	// shard (see pagecache admission quotas).
+	QuotaRejected int64
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no traffic.
@@ -288,6 +327,46 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(t)
+}
+
+// CacheCounters is an atomically updatable per-query view of cache
+// traffic. The shared page cache keeps session-wide totals; in session
+// mode each query's pipeline additionally bumps one of these so
+// concurrent queries' hit rates don't conflate. The zero value is ready
+// to use.
+type CacheCounters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	quotaRejected atomic.Int64
+}
+
+// Add records hits pages served from cache and misses pages that went to
+// the device on this query's behalf.
+func (c *CacheCounters) Add(hits, misses int64) {
+	if hits != 0 {
+		c.hits.Add(hits)
+	}
+	if misses != 0 {
+		c.misses.Add(misses)
+	}
+}
+
+// AddQuotaRejected records admissions dropped because this query was over
+// its cache share.
+func (c *CacheCounters) AddQuotaRejected(n int64) {
+	if n != 0 {
+		c.quotaRejected.Add(n)
+	}
+}
+
+// Snapshot returns the counters as a CacheStats (only the attributable
+// fields are populated: Hits, Misses, QuotaRejected).
+func (c *CacheCounters) Snapshot() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		QuotaRejected: c.quotaRejected.Load(),
+	}
 }
 
 // MemAccount tracks named memory reservations so Figure 12's footprint can

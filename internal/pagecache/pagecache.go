@@ -89,13 +89,44 @@ var chunkPool = sync.Pool{
 // noFrame marks an empty map slot / list end.
 const noFrame = int32(-1)
 
+// NoOwner is the owner id of pages admitted outside session mode; they are
+// exempt from admission quotas.
+const NoOwner = int32(-1)
+
 // frame is one resident page slot.
 type frame struct {
-	key  Key
-	data []byte // arena-backed, exactly graph.PageSize bytes
-	ref  bool   // CLOCK reference bit
+	key   Key
+	data  []byte // arena-backed, exactly graph.PageSize bytes
+	ref   bool   // CLOCK reference bit
+	owner int32  // admitting query (session mode) or NoOwner
 	// prev/next thread the LRU list (PolicyLRU only); head = MRU.
 	prev, next int32
+}
+
+// ownerAcct is one query's admission accounting under a quota.
+type ownerAcct struct {
+	max      int64 // resident-page quota
+	resident atomic.Int64
+	rejected atomic.Int64
+}
+
+// ownerTable maps query owners to their quota accounting. It is shared by
+// every shard; reads on the put path take the read lock only when the put
+// carries an owner, so single-query executions never touch it.
+type ownerTable struct {
+	mu sync.RWMutex
+	m  map[int32]*ownerAcct
+}
+
+// get returns owner's accounting, or nil when no quota is set.
+func (t *ownerTable) get(owner int32) *ownerAcct {
+	if owner == NoOwner {
+		return nil
+	}
+	t.mu.RLock()
+	a := t.m[owner]
+	t.mu.RUnlock()
+	return a
 }
 
 // ghostList is a bounded FIFO of recently evicted keys. slot[k] is k's ring
@@ -159,12 +190,13 @@ type shard struct {
 	head   int32    // LRU MRU end
 	tail   int32    // LRU eviction end
 	ghost  ghostList
+	owners *ownerTable // shared quota accounting (see Cache.SetQuota)
 
 	shardCounters
 	_ [64]byte // keep the counters off the next allocation's line
 }
 
-func newShard(cap int, policy Policy) *shard {
+func newShard(cap int, policy Policy, owners *ownerTable) *shard {
 	return &shard{
 		policy: policy,
 		cap:    cap,
@@ -172,6 +204,7 @@ func newShard(cap int, policy Policy) *shard {
 		head:   noFrame,
 		tail:   noFrame,
 		ghost:  newGhostList(cap),
+		owners: owners,
 	}
 }
 
@@ -261,8 +294,43 @@ func (s *shard) evictFrame() int32 {
 	}
 }
 
-// put inserts or updates the page and returns what happened.
-func (s *shard) put(key Key, data []byte) PutResult {
+// evictOwnFrame picks a victim among frames owned by owner, preferring an
+// unreferenced one from the CLOCK hand onward (LRU: the coldest one), or
+// noFrame when the owner holds nothing in this shard. The global hand does
+// not move — a quota eviction recycles the owner's own budget, it is not a
+// sweep over everyone's pages.
+func (s *shard) evictOwnFrame(owner int32) int32 {
+	if s.policy == PolicyLRU {
+		for i := s.tail; i != noFrame; i = s.frames[i].prev {
+			if s.frames[i].owner == owner {
+				return i
+			}
+		}
+		return noFrame
+	}
+	n := int32(len(s.frames))
+	victim := noFrame
+	for k := int32(0); k < n; k++ {
+		i := (s.hand + k) % n
+		f := &s.frames[i]
+		if f.owner != owner {
+			continue
+		}
+		if !f.ref {
+			return i
+		}
+		if victim == noFrame {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// put inserts or updates the page on behalf of owner and returns what
+// happened. At capacity an owner over its quota may only displace its own
+// frames: if it holds none in this shard the admission is rejected, so a
+// scanning query can never push a peer's working set out beyond its share.
+func (s *shard) put(key Key, data []byte, owner int32) PutResult {
 	var res PutResult
 	s.mu.Lock()
 	if i, ok := s.items[key]; ok {
@@ -271,18 +339,33 @@ func (s *shard) put(key Key, data []byte) PutResult {
 		s.mu.Unlock()
 		return PutStored
 	}
+	acct := s.owners.get(owner)
 	ghostHit := s.policy == PolicyCLOCK && s.ghost.take(key)
 	var i int32
 	if len(s.frames) < s.cap {
 		i = int32(len(s.frames))
-		s.frames = append(s.frames, frame{prev: noFrame, next: noFrame})
+		s.frames = append(s.frames, frame{prev: noFrame, next: noFrame, owner: NoOwner})
 		s.frames[i].data = s.frameData(int(i))
 	} else {
-		i = s.evictFrame()
-		old := s.frames[i].key
-		delete(s.items, old)
+		if acct != nil && acct.resident.Load() >= acct.max {
+			// Over quota at capacity: recycle one of the owner's own
+			// frames, or drop the admission.
+			i = s.evictOwnFrame(owner)
+			if i == noFrame {
+				acct.rejected.Add(1)
+				s.mu.Unlock()
+				return PutQuotaRejected
+			}
+		} else {
+			i = s.evictFrame()
+		}
+		old := s.frames[i]
+		delete(s.items, old.key)
+		if oa := s.owners.get(old.owner); oa != nil {
+			oa.resident.Add(-1)
+		}
 		if s.policy == PolicyCLOCK {
-			s.ghost.add(old)
+			s.ghost.add(old.key)
 		} else {
 			s.lruUnlink(i)
 		}
@@ -291,6 +374,10 @@ func (s *shard) put(key Key, data []byte) PutResult {
 	}
 	f := &s.frames[i]
 	f.key = key
+	f.owner = owner
+	if acct != nil {
+		acct.resident.Add(1)
+	}
 	copy(f.data, data[:graph.PageSize])
 	// Fresh pages get no reference bit (one chance: a pure scan cannot
 	// displace the hot set); pages returning from the ghost list are
@@ -319,6 +406,10 @@ const (
 	// PutGhostHit: the key was on the ghost list and was readmitted with
 	// its reference bit set.
 	PutGhostHit
+	// PutQuotaRejected: the admission was dropped because the owner was
+	// over its quota and held no evictable frame of its own in the target
+	// shard. The page is NOT resident.
+	PutQuotaRejected
 )
 
 // Cache is a thread-safe sharded page cache.
@@ -326,6 +417,7 @@ type Cache struct {
 	shards []*shard
 	mask   uint64
 	cap    int // total resident-page budget
+	owners *ownerTable
 
 	idMu sync.Mutex
 	ids  map[string]ID
@@ -362,7 +454,11 @@ func New(capBytes int64) *Cache { return NewWithPolicy(capBytes, PolicyCLOCK) }
 // pagecache ablation compares PolicyLRU and PolicyCLOCK head to head).
 func NewWithPolicy(capBytes int64, policy Policy) *Cache {
 	capPages := int(capBytes / graph.PageSize)
-	c := &Cache{cap: capPages, ids: map[string]ID{}}
+	c := &Cache{
+		cap:    capPages,
+		owners: &ownerTable{m: map[int32]*ownerAcct{}},
+		ids:    map[string]ID{},
+	}
 	if capPages <= 0 {
 		return c
 	}
@@ -378,9 +474,52 @@ func NewWithPolicy(capBytes int64, policy Policy) *Cache {
 		if sc < 1 {
 			sc = 1
 		}
-		c.shards[i] = newShard(sc, policy)
+		c.shards[i] = newShard(sc, policy, c.owners)
 	}
 	return c
+}
+
+// SetQuota bounds owner's resident pages to pages (session mode: each
+// concurrent query gets a share of the capacity). A non-positive quota
+// removes the bound. Quotas should be set before the owner admits pages —
+// pages already resident are not retroactively charged.
+func (c *Cache) SetQuota(owner int32, pages int64) {
+	if !c.Enabled() || owner == NoOwner {
+		return
+	}
+	c.owners.mu.Lock()
+	if pages <= 0 {
+		delete(c.owners.m, owner)
+	} else if a := c.owners.m[owner]; a != nil {
+		a.max = pages
+	} else {
+		c.owners.m[owner] = &ownerAcct{max: pages}
+	}
+	c.owners.mu.Unlock()
+}
+
+// OwnerResident returns owner's resident page count under its quota (0
+// without a quota).
+func (c *Cache) OwnerResident(owner int32) int64 {
+	if c == nil {
+		return 0
+	}
+	if a := c.owners.get(owner); a != nil {
+		return a.resident.Load()
+	}
+	return 0
+}
+
+// OwnerRejected returns the number of owner's admissions dropped by its
+// quota.
+func (c *Cache) OwnerRejected(owner int32) int64 {
+	if c == nil {
+		return 0
+	}
+	if a := c.owners.get(owner); a != nil {
+		return a.rejected.Load()
+	}
+	return 0
 }
 
 // Enabled reports whether the cache can hold at least one page.
@@ -421,9 +560,16 @@ func (c *Cache) DropGraph(name string) {
 	for si, s := range c.shards {
 		s.mu.Lock()
 		// Rebuild the shard without the dropped graph's frames. Survivors
-		// keep their data and reference bits; LRU recency order is
-		// preserved by re-inserting from the cold end.
-		fresh := newShard(s.cap, s.policy)
+		// keep their data, owners and reference bits; LRU recency order is
+		// preserved by re-inserting from the cold end. Owner resident
+		// counts are released wholesale first — the surviving reinserts
+		// charge them back.
+		for i := range s.frames {
+			if a := c.owners.get(s.frames[i].owner); a != nil {
+				a.resident.Add(-1)
+			}
+		}
+		fresh := newShard(s.cap, s.policy, c.owners)
 		fresh.hits.Store(s.hits.Load())
 		fresh.misses.Store(s.misses.Load())
 		fresh.evictions.Store(s.evictions.Load())
@@ -434,7 +580,7 @@ func (c *Cache) DropGraph(name string) {
 			if f.key.Graph == id {
 				return
 			}
-			fresh.put(f.key, f.data)
+			fresh.put(f.key, f.data, f.owner)
 			if f.ref {
 				fresh.touch(fresh.items[f.key])
 			}
@@ -492,6 +638,14 @@ func (c *Cache) Get(key Key, out []byte) bool {
 // put is rejected (and counted) — caching a short entry would leave a
 // later Get's destination with a stale tail.
 func (c *Cache) Put(key Key, data []byte) PutResult {
+	return c.PutOwned(key, data, NoOwner)
+}
+
+// PutOwned is Put on behalf of a query owner (session mode): the admission
+// is charged against the owner's SetQuota budget, and at capacity an
+// over-quota owner can only displace its own frames (or the put returns
+// PutQuotaRejected). NoOwner admissions are exempt.
+func (c *Cache) PutOwned(key Key, data []byte, owner int32) PutResult {
 	if !c.Enabled() {
 		return 0
 	}
@@ -499,7 +653,7 @@ func (c *Cache) Put(key Key, data []byte) PutResult {
 		c.shards[0].rejected.Add(1)
 		return 0
 	}
-	return c.shardOf(key).put(key, data)
+	return c.shardOf(key).put(key, data, owner)
 }
 
 // ProbeRun checks the n consecutive pages {base + k*stride, k < n} of one
@@ -588,6 +742,11 @@ func (c *Cache) StatsDetail() metrics.CacheStats {
 		d.GhostHits += s.ghostHits.Load()
 		d.Rejected += s.rejected.Load()
 	}
+	c.owners.mu.RLock()
+	for _, a := range c.owners.m {
+		d.QuotaRejected += a.rejected.Load()
+	}
+	c.owners.mu.RUnlock()
 	d.Bypassed = c.bypassed.Load()
 	d.Misses += d.Bypassed
 	return d
@@ -622,7 +781,12 @@ func (c *Cache) Reset() {
 				chunkPool.Put(ch)
 			}
 		}
-		fresh := newShard(s.cap, s.policy)
+		for fi := range s.frames {
+			if a := c.owners.get(s.frames[fi].owner); a != nil {
+				a.resident.Add(-1)
+			}
+		}
+		fresh := newShard(s.cap, s.policy, c.owners)
 		// Preserve the counter totals across the rebuild.
 		fresh.hits.Store(s.hits.Load())
 		fresh.misses.Store(s.misses.Load())

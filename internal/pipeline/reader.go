@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"blaze/internal/exec"
+	"blaze/internal/iosched"
 	"blaze/internal/ssd"
 	"blaze/internal/trace"
 )
@@ -68,6 +69,16 @@ type Reader struct {
 	// Device serves the reads; Dev is the value stamped into Buffer.Dev.
 	Device *ssd.Device
 	Dev    int
+	// Sched, when non-nil, is the shared-scheduler mode (session
+	// execution): reads route through the per-device iosched.Scheduler —
+	// which coalesces them onto other queries' in-flight reads and paces
+	// over-share queries — instead of going to Device directly. Device
+	// must still be set (it is the scheduler's device).
+	Sched *iosched.Scheduler
+	// Query identifies the owning query in session mode and tags the
+	// reader's scheduler requests and trace ring. Engines must set it to
+	// -1 outside session mode.
+	Query int32
 	// Pages is this device's sorted page frontier, in the device's own
 	// address space.
 	Pages []int64
@@ -188,8 +199,15 @@ func (r *Reader) Run(io exec.Proc) {
 			}
 		}
 		io.Advance(r.SubmitCost(hi - lo))
-		done, err := r.Device.ScheduleRead(io, pages[i]+int64(lo), hi-lo,
-			buf.Data[lo*ssd.PageSize:hi*ssd.PageSize])
+		var done int64
+		var err error
+		if r.Sched != nil {
+			done, err = r.Sched.ScheduleRead(io, r.Query, pages[i]+int64(lo), hi-lo,
+				buf.Data[lo*ssd.PageSize:hi*ssd.PageSize])
+		} else {
+			done, err = r.Device.ScheduleRead(io, pages[i]+int64(lo), hi-lo,
+				buf.Data[lo*ssd.PageSize:hi*ssd.PageSize])
+		}
 		if err != nil {
 			// Unrecoverable read (retries exhausted or permanent): latch
 			// the failure, hand the buffer back, and stop this device's
@@ -223,7 +241,7 @@ func Start(ctx exec.Context, wg exec.WaitGroup, readers []*Reader) {
 	for _, r := range readers {
 		r := r
 		ctx.Go(r.Name, func(io exec.Proc) {
-			r.Tracer.Attach(io, trace.StageIO, int32(r.Dev))
+			r.Tracer.AttachQuery(io, trace.StageIO, int32(r.Dev), r.Query)
 			r.Run(io)
 			wg.Done(io)
 		})

@@ -25,6 +25,7 @@ import (
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/inmem"
+	"blaze/internal/iosched"
 	"blaze/internal/metrics"
 	"blaze/internal/pagecache"
 	"blaze/internal/ssd"
@@ -80,6 +81,18 @@ type Options struct {
 	// pipeline stages (see internal/trace); enable it to collect span
 	// timelines and stage statistics.
 	Tracer *trace.Tracer
+
+	// Scheds, QueryID and QueryCache are the session-aware construction
+	// surface (see internal/session): when Scheds is non-nil the engine
+	// instance executes as query QueryID of a shared graph session —
+	// device reads route through the per-device shared schedulers
+	// (cross-query coalescing + DRR bandwidth sharing), cache admissions
+	// are charged to the query's quota, and QueryCache (optional) receives
+	// the query's attributed cache counters. Only session-capable engines
+	// (see SessionCapable) honor these.
+	Scheds     *iosched.Table
+	QueryID    int32
+	QueryCache *metrics.CacheCounters
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +140,9 @@ func (o Options) BlazeConfig() engine.Config {
 		cfg.IOBufferBytes = o.IOBufferBytes
 	}
 	cfg.Tracer = o.Tracer
+	cfg.Scheds = o.Scheds
+	cfg.QueryID = o.QueryID
+	cfg.QueryCache = o.QueryCache
 	return cfg
 }
 
@@ -140,6 +156,11 @@ type Info struct {
 	// (the in-core traversal, graphene's self-placed devices): loaders
 	// must attach c.Adj before running them on a file-backed graph.
 	NeedsAdjacency bool
+	// SessionCapable marks engines that honor Options.Scheds — i.e. read
+	// the session graph's striped array through pipeline.Reader and can
+	// therefore share devices with concurrent queries. Graphene places its
+	// own devices and inmem does no IO; neither can join a session.
+	SessionCapable bool
 }
 
 var engines = map[string]Info{}
@@ -168,6 +189,25 @@ func NeedsAdjacency(name string) bool {
 	return engines[name].NeedsAdjacency
 }
 
+// SessionCapable reports whether the named engine can execute as one
+// query of a shared graph session; unknown names report false.
+func SessionCapable(name string) bool {
+	return engines[name].SessionCapable
+}
+
+// SessionNames returns the session-capable engine names, sorted, aliases
+// included.
+func SessionNames() []string {
+	names := make([]string, 0, len(engines))
+	for n, e := range engines {
+		if e.SessionCapable {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Names returns the registered engine names, sorted, aliases included.
 func Names() []string {
 	names := make([]string, 0, len(engines))
@@ -179,15 +219,15 @@ func Names() []string {
 }
 
 func init() {
-	Register("blaze", Info{New: func(ctx exec.Context, o Options) algo.System {
+	Register("blaze", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return algo.NewBlaze(ctx, o.BlazeConfig())
 	}})
-	sync := Info{New: func(ctx exec.Context, o Options) algo.System {
+	sync := Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return syncvar.New(ctx, o.BlazeConfig())
 	}}
 	Register("blaze-sync", sync)
 	Register("sync", sync) // historical harness name
-	Register("flashgraph", Info{New: func(ctx exec.Context, o Options) algo.System {
+	Register("flashgraph", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		cfg := flashgraph.DefaultConfig()
 		cfg.ComputeWorkers = o.Workers
 		cfg.Model = o.model()
@@ -196,6 +236,9 @@ func init() {
 			cfg.CacheBytes = o.CacheBytes
 		}
 		cfg.Tracer = o.Tracer
+		cfg.Scheds = o.Scheds
+		cfg.QueryID = o.QueryID
+		cfg.QueryCache = o.QueryCache
 		return flashgraph.New(ctx, cfg)
 	}})
 	Register("graphene", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {

@@ -1,0 +1,308 @@
+// Package session implements the resident graph-service session: one
+// loaded graph (plus optional transpose), one shared page cache, and one
+// shared IO scheduler per device, against which N queries execute
+// concurrently. Serving concurrent analytics from one loaded graph is the
+// deployment FlashGraph and Graphene target with their per-application
+// page caches; Blaze's paper leaves it as future work, and this package is
+// that extension on top of the engine's session hooks (engine.Config's
+// Scheds/QueryID/QueryCache surface).
+//
+// The sharing mechanisms live in three layers this package composes:
+//
+//   - internal/iosched: per-device schedulers that coalesce overlapping
+//     reads from different queries (one device read per page run) and
+//     enforce deficit-round-robin bandwidth sharing between the active
+//     queries of a backlogged device.
+//   - internal/pagecache: per-owner admission quotas — the session divides
+//     cache capacity between active queries so one query's scan cannot
+//     evict another's working set beyond its share; the split is
+//     recomputed whenever a query joins or finishes.
+//   - internal/metrics: per-query attributable IO and cache counters. A
+//     query's device reads are double-entered — once on the session-wide
+//     device stats (totals, unchanged accounting) and once on the query's
+//     own IOStats — so the sum of per-query reads always equals the
+//     session totals.
+//
+// Determinism: under the Sim backend concurrent queries execute in
+// deterministic virtual-time order. The interleave seed perturbs each
+// query's start offset by a hash-derived jitter, so a fixed seed
+// reproduces the exact same coalescing, pacing, and cache decisions run
+// after run, and different seeds exercise different interleavings.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"blaze/algo"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/iosched"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/registry"
+	"blaze/internal/ssd"
+)
+
+// maxJitterNs bounds the deterministic per-query start jitter under the
+// Sim backend: small against any real query (a single page transfer is
+// tens of microseconds) but enough to decorrelate pipeline phases.
+const maxJitterNs = 1 << 16
+
+// Config parameterizes a Session.
+type Config struct {
+	// Engine is the registry name queries are built with (must be
+	// session-capable; see registry.SessionCapable). Empty selects
+	// bring-your-own-engine mode: NewQuery registers the query and
+	// allocates its counters but builds no system (Query.Sys nil) —
+	// callers construct their own engine from the query's identity, as
+	// blaze.Runtime.RunConcurrent does.
+	Engine string
+	// Base is the engine construction surface shared by every query
+	// (workers, binning, cost model, ...). Its session fields — Scheds,
+	// QueryID, QueryCache, PageCache, Stats — are overridden per query.
+	Base registry.Options
+	// Cache is the shared page cache (nil or disabled = no caching; the
+	// flashgraph baseline ignores it and keeps its private per-query LRU).
+	Cache *pagecache.Cache
+	// QuantumBytes is the DRR quantum (0 = iosched.DefaultQuantumBytes);
+	// NoCoalesce and NoDRR are the sharing ablation knobs.
+	QuantumBytes int64
+	NoCoalesce   bool
+	NoDRR        bool
+	// Seed is the deterministic interleave seed (0 = 1).
+	Seed uint64
+	// Stats receives session-wide coalescing totals; device-read totals
+	// stay on the stats the graph's devices were built with. May be nil.
+	Stats *metrics.IOStats
+}
+
+// Query is one query's identity and attributed measurements within a
+// session.
+type Query struct {
+	ID int32
+	// Sys is the query's engine instance (nil in bring-your-own-engine
+	// sessions).
+	Sys algo.System
+	// IO receives the query's attributed device reads and coalesced
+	// attaches (per-device, from the shared schedulers).
+	IO *metrics.IOStats
+	// Cache receives the query's attributed shared-cache counters.
+	Cache *metrics.CacheCounters
+	// Err, StartNs and EndNs are filled by Run.
+	Err            error
+	StartNs, EndNs int64
+	finished       bool
+}
+
+// ElapsedNs returns the query's makespan after Run.
+func (q *Query) ElapsedNs() int64 { return q.EndNs - q.StartNs }
+
+// Session owns the shared state N concurrent queries execute against.
+type Session struct {
+	Ctx exec.Context
+	// Out and In are the session's resident forward and (optional)
+	// transpose graphs.
+	Out, In *engine.Graph
+
+	cfg      Config
+	scheds   *iosched.Table
+	capPages int64
+
+	mu      sync.Mutex
+	nextID  int32
+	active  int
+	queries []*Query
+}
+
+// New builds a session over the already-loaded graphs (in may be nil for
+// queries that never read the transpose). The graphs' devices keep their
+// construction-time stats; cfg.Stats only adds session-wide coalescing
+// totals on top.
+func New(ctx exec.Context, out, in *engine.Graph, cfg Config) (*Session, error) {
+	if out == nil {
+		return nil, fmt.Errorf("session: nil graph")
+	}
+	if cfg.Engine != "" && !registry.SessionCapable(cfg.Engine) {
+		return nil, fmt.Errorf("session: engine %q cannot join a session (have %v)",
+			cfg.Engine, registry.SessionNames())
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	icfg := iosched.Config{
+		QuantumBytes: cfg.QuantumBytes,
+		NoCoalesce:   cfg.NoCoalesce,
+		NoDRR:        cfg.NoDRR,
+		Stats:        cfg.Stats,
+	}
+	t := iosched.NewTable()
+	t.AddArray(ctx, out.Arr, icfg)
+	if in != nil {
+		t.AddArray(ctx, in.Arr, icfg)
+	}
+	s := &Session{Ctx: ctx, Out: out, In: in, cfg: cfg, scheds: t}
+	if cfg.Cache.Enabled() {
+		s.capPages = cfg.Cache.Bytes() / ssd.PageSize
+	}
+	return s, nil
+}
+
+// Scheds returns the session's device→scheduler table, for callers that
+// build their own per-query engine configs.
+func (s *Session) Scheds() *iosched.Table { return s.scheds }
+
+// Cache returns the shared page cache (nil when the session has none).
+func (s *Session) Cache() *pagecache.Cache { return s.cfg.Cache }
+
+// NewQuery registers the next query: allocates its attributed counters,
+// registers it with every device scheduler, recomputes the cache quota
+// split, and (unless the session is bring-your-own-engine) constructs its
+// engine instance through the registry.
+func (s *Session) NewQuery() (*Query, error) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.active++
+	s.mu.Unlock()
+
+	q := &Query{
+		ID:    id,
+		IO:    metrics.NewIOStats(s.Out.Arr.NumDevices()),
+		Cache: &metrics.CacheCounters{},
+	}
+	s.scheds.Register(id, q.IO)
+	if s.cfg.Engine != "" {
+		opts := s.cfg.Base
+		opts.Stats = q.IO
+		opts.PageCache = s.cfg.Cache
+		opts.Scheds = s.scheds
+		opts.QueryID = id
+		opts.QueryCache = q.Cache
+		sys, err := registry.New(s.cfg.Engine, s.Ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		q.Sys = sys
+	}
+	s.mu.Lock()
+	s.queries = append(s.queries, q)
+	s.mu.Unlock()
+	s.rebalanceQuotas()
+	return q, nil
+}
+
+// EngineConfig returns base rewired as q's session engine config: shared
+// scheduler table and page cache, the query's identity and attributed
+// counters. For bring-your-own-engine callers.
+func (s *Session) EngineConfig(base engine.Config, q *Query) engine.Config {
+	base.Scheds = s.scheds
+	base.QueryID = q.ID
+	base.QueryCache = q.Cache
+	base.PageCache = s.cfg.Cache
+	base.Stats = q.IO
+	return base
+}
+
+// rebalanceQuotas splits cache capacity evenly between active queries.
+// SetQuota only gates future admissions, so shares grow in place as
+// queries finish (resident pages are never retroactively evicted).
+func (s *Session) rebalanceQuotas() {
+	if s.capPages == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == 0 {
+		return
+	}
+	share := s.capPages / int64(s.active)
+	if share < 1 {
+		share = 1
+	}
+	for _, q := range s.queries {
+		if !q.finished {
+			s.cfg.Cache.SetQuota(q.ID, share)
+		}
+	}
+}
+
+// Finish retires q: its scheduler accounts leave the DRR active set (its
+// in-flight reads stay attachable until they expire), its cache quota is
+// released, and the survivors' shares grow.
+func (s *Session) Finish(q *Query) {
+	s.mu.Lock()
+	if q.finished {
+		s.mu.Unlock()
+		return
+	}
+	q.finished = true
+	s.active--
+	s.mu.Unlock()
+	s.scheds.Finish(q.ID)
+	if s.capPages > 0 {
+		s.cfg.Cache.SetQuota(q.ID, 0)
+	}
+	s.rebalanceQuotas()
+}
+
+// Queries returns every query registered so far, in creation order.
+func (s *Session) Queries() []*Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Query(nil), s.queries...)
+}
+
+// Body is one query's work: it runs on its own proc against the query's
+// engine (or a caller-built one in bring-your-own-engine sessions).
+type Body func(p exec.Proc, q *Query) error
+
+// Run executes the bodies concurrently, one proc per query, from the
+// caller's proc (which must be inside ctx.Run). All queries are created
+// up front — so the quota split is stable before any admission — then
+// spawned with their deterministic start jitter. Run waits for every
+// query; per-query failures land in Query.Err, and the first non-nil one
+// is also returned.
+func (s *Session) Run(p exec.Proc, bodies ...Body) ([]*Query, error) {
+	qs := make([]*Query, len(bodies))
+	for i := range bodies {
+		q, err := s.NewQuery()
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	wg := s.Ctx.NewWaitGroup()
+	wg.Add(len(bodies))
+	for i := range bodies {
+		q, body := qs[i], bodies[i]
+		s.Ctx.Go(fmt.Sprintf("query%d", q.ID), func(qp exec.Proc) {
+			if jit := int64(splitmix64(s.cfg.Seed, uint64(q.ID)) % maxJitterNs); jit > 0 {
+				qp.Advance(jit)
+			}
+			q.StartNs = qp.Now()
+			q.Err = body(qp, q)
+			q.EndNs = qp.Now()
+			qp.Sync()
+			s.Finish(q)
+			wg.Done(qp)
+		})
+	}
+	wg.Wait(p)
+	var firstErr error
+	for _, q := range qs {
+		if q.Err != nil && firstErr == nil {
+			firstErr = q.Err
+		}
+	}
+	return qs, firstErr
+}
+
+// splitmix64 hashes (seed, i) to a well-mixed 64-bit value — the standard
+// SplitMix64 finalizer, giving decorrelated jitters from sequential ids.
+func splitmix64(seed, i uint64) uint64 {
+	z := seed + i*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

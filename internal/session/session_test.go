@@ -1,0 +1,188 @@
+package session
+
+import (
+	"testing"
+
+	"blaze/algo"
+	"blaze/gen"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/registry"
+	"blaze/internal/ssd"
+)
+
+func testCSR(seed uint64, nEdges int) *graph.CSR {
+	n := uint32(64 + seed%512)
+	r := gen.NewRNG(seed)
+	src := make([]uint32, nEdges)
+	dst := make([]uint32, nEdges)
+	src[0], dst[0] = 0, 1
+	for i := 1; i < nEdges; i++ {
+		src[i] = uint32(r.Intn(int(n)))
+		dst[i] = uint32(r.Intn(int(n)))
+	}
+	return graph.Build(n, src, dst)
+}
+
+// runSession executes q concurrent BFS replicas over a fresh context and
+// returns the session, queries, device stats, and final virtual time.
+func runSession(t *testing.T, c *graph.CSR, qn int, cfg Config) (*Session, []*Query, *metrics.IOStats, int64) {
+	t.Helper()
+	ctx := exec.NewSim()
+	stats := metrics.NewIOStats(2)
+	out := engine.FromCSR(ctx, "sess", c, 2, ssd.OptaneSSD, stats, nil)
+	cfg.Engine = "blaze"
+	cfg.Base = registry.Options{Edges: c.E, Workers: 4, NumDev: 2}
+	cfg.Stats = stats
+	s, err := New(ctx, out, nil, cfg)
+	if err != nil {
+		t.Fatalf("session.New: %v", err)
+	}
+	bodies := make([]Body, qn)
+	for i := range bodies {
+		bodies[i] = func(p exec.Proc, q *Query) error {
+			_, err := algo.BFS(q.Sys, p, out, 0)
+			return err
+		}
+	}
+	var qs []*Query
+	ctx.Run("main", func(p exec.Proc) {
+		var err error
+		qs, err = s.Run(p, bodies...)
+		if err != nil {
+			t.Errorf("session.Run: %v", err)
+		}
+	})
+	return s, qs, stats, ctx.End
+}
+
+// TestAttributionInvariant: the per-query device reads sum exactly to the
+// session totals — attribution never double-counts or drops a read — and
+// coalesced pages are counted separately from device reads.
+func TestAttributionInvariant(t *testing.T) {
+	c := testCSR(11, 3000)
+	_, qs, stats, _ := runSession(t, c, 3, Config{})
+	var qPages, qBytes, qCoal int64
+	for _, q := range qs {
+		qPages += q.IO.PagesRead()
+		qBytes += q.IO.TotalBytes()
+		qCoal += q.IO.CoalescedPages()
+	}
+	if qPages != stats.PagesRead() {
+		t.Errorf("sum of per-query pages %d != session total %d", qPages, stats.PagesRead())
+	}
+	if qBytes != stats.TotalBytes() {
+		t.Errorf("sum of per-query bytes %d != session total %d", qBytes, stats.TotalBytes())
+	}
+	if qCoal != stats.CoalescedPages() {
+		t.Errorf("sum of per-query coalesced %d != session total %d", qCoal, stats.CoalescedPages())
+	}
+	if qCoal == 0 {
+		t.Error("identical concurrent traversals coalesced nothing")
+	}
+}
+
+// TestCoalescingReducesReads: three identical concurrent traversals read
+// fewer device pages than three serial ones.
+func TestCoalescingReducesReads(t *testing.T) {
+	c := testCSR(5, 3000)
+	_, _, serialStats, _ := runSession(t, c, 1, Config{})
+	_, _, concStats, _ := runSession(t, c, 3, Config{})
+	serial3 := 3 * serialStats.PagesRead()
+	if concStats.PagesRead() >= serial3 {
+		t.Errorf("3 concurrent queries read %d pages, 3 serial read %d — no sharing benefit",
+			concStats.PagesRead(), serial3)
+	}
+}
+
+// TestDeterministicInterleave: the same seed reproduces the exact same
+// concurrent schedule — identical makespan, per-query timings, and IO
+// attribution, run after run.
+func TestDeterministicInterleave(t *testing.T) {
+	c := testCSR(23, 2500)
+	_, qs1, st1, end1 := runSession(t, c, 4, Config{Seed: 42})
+	_, qs2, st2, end2 := runSession(t, c, 4, Config{Seed: 42})
+	if end1 != end2 {
+		t.Fatalf("same seed, different makespans: %d vs %d", end1, end2)
+	}
+	if st1.PagesRead() != st2.PagesRead() || st1.CoalescedPages() != st2.CoalescedPages() {
+		t.Errorf("same seed, different IO: (%d,%d) vs (%d,%d)",
+			st1.PagesRead(), st1.CoalescedPages(), st2.PagesRead(), st2.CoalescedPages())
+	}
+	for i := range qs1 {
+		if qs1[i].StartNs != qs2[i].StartNs || qs1[i].EndNs != qs2[i].EndNs {
+			t.Errorf("query %d: timings differ across identical runs", i)
+		}
+		if qs1[i].IO.PagesRead() != qs2[i].IO.PagesRead() {
+			t.Errorf("query %d: attribution differs across identical runs", i)
+		}
+	}
+}
+
+// TestQuotaRebalance: the session splits cache capacity between active
+// queries and regrows shares as they finish.
+func TestQuotaRebalance(t *testing.T) {
+	ctx := exec.NewSim()
+	c := testCSR(3, 1000)
+	out := engine.FromCSR(ctx, "q", c, 1, ssd.OptaneSSD, nil, nil)
+	cache := pagecache.New(64 * ssd.PageSize)
+	s, err := New(ctx, out, nil, Config{
+		Engine: "blaze",
+		Base:   registry.Options{Edges: c.E, Workers: 4, NumDev: 1},
+		Cache:  cache,
+	})
+	if err != nil {
+		t.Fatalf("session.New: %v", err)
+	}
+	q0, err := s.NewQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := s.NewQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two active queries: each gets half the 64-page cache. The quota binds
+	// only under contention (free frames admit anyone), so fill to capacity
+	// as q1 first, then over-admit as q0: q0 may displace q1's frames only
+	// up to its 32-page share.
+	g := cache.GraphID("quota-probe")
+	buf := make([]byte, ssd.PageSize)
+	for i := int64(0); i < 64; i++ {
+		cache.PutOwned(pagecache.Key{Graph: g, Logical: i}, buf, q1.ID)
+	}
+	for i := int64(100); i < 200; i++ {
+		cache.PutOwned(pagecache.Key{Graph: g, Logical: i}, buf, q0.ID)
+	}
+	if got := cache.OwnerResident(q0.ID); got > 32 {
+		t.Errorf("q0 resident %d pages, quota share is 32", got)
+	}
+	if got := cache.OwnerResident(q1.ID); got < 32 {
+		t.Errorf("q1 pushed down to %d resident pages, share is 32", got)
+	}
+	s.Finish(q0)
+	// q0 finished: q1's share grows to the full capacity and its scans may
+	// reclaim q0's orphaned frames.
+	for i := int64(200); i < 300; i++ {
+		cache.PutOwned(pagecache.Key{Graph: g, Logical: i}, buf, q1.ID)
+	}
+	if got := cache.OwnerResident(q1.ID); got <= 32 {
+		t.Errorf("q1 resident %d pages after rebalance, want > 32", got)
+	}
+}
+
+// TestSessionRejectsIncapableEngine: engines that cannot share devices
+// are rejected at session construction.
+func TestSessionRejectsIncapableEngine(t *testing.T) {
+	ctx := exec.NewSim()
+	c := testCSR(7, 500)
+	out := engine.FromCSR(ctx, "g", c, 1, ssd.OptaneSSD, nil, nil)
+	for _, name := range []string{"graphene", "inmem", "nonsense"} {
+		if _, err := New(ctx, out, nil, Config{Engine: name}); err == nil {
+			t.Errorf("session accepted engine %q", name)
+		}
+	}
+}

@@ -271,6 +271,16 @@ func (d *Device) ScheduleRead(p exec.Proc, start int64, n int, buf []byte) (int6
 	return done, nil
 }
 
+// CopyPending moves n contiguous local pages starting at start into buf
+// without charging transfer time or device read accounting: the data path
+// of a request that coalesced onto another consumer's in-flight read of
+// the same run. The device is already busy serving that read, so the
+// attach costs no extra device time; only retry backoff for transient
+// backing faults (which re-fault independently per consumer) blocks p.
+func (d *Device) CopyPending(p exec.Proc, start int64, n int, buf []byte) error {
+	return d.copyPagesRetry(p, start, n, buf)
+}
+
 // BusyUntil exposes the device horizon for utilization accounting.
 func (d *Device) BusyUntil() int64 { return d.res.BusyUntil() }
 

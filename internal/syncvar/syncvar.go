@@ -64,7 +64,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	numDev := g.Arr.NumDevices()
 	workers := cfg.ScatterProcs + cfg.GatherProcs
 
-	ctr := cfg.Tracer.Attach(p, trace.StageCoord, -1)
+	ctr := cfg.Tracer.AttachQuery(p, trace.StageCoord, -1, cfg.TraceQuery())
 	var t0 int64
 	if ctr.Active() {
 		t0 = p.Now()
@@ -101,12 +101,15 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	}
 
 	ab := &exec.Latch{}
+	owner := cfg.CacheOwner()
+	qcache := cfg.QueryCache
 	readers := make([]*pipeline.Reader, numDev)
 	for d := 0; d < numDev; d++ {
 		r := &pipeline.Reader{
 			Name:       fmt.Sprintf("sync-io%d", d),
 			Device:     g.Arr.Device(d),
 			Dev:        d,
+			Query:      cfg.TraceQuery(),
 			Pages:      ps.PerDev[d],
 			Free:       free,
 			Filled:     filled,
@@ -118,18 +121,29 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 				return fmt.Errorf("syncvar: edgemap on %q: %w", g.Name, err)
 			},
 		}
+		if cfg.Scheds != nil {
+			r.Sched = cfg.Scheds.For(r.Device)
+		}
 		if cache.Enabled() {
 			r.HitCost = m.PageOverhead / 2
 			r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
 				base := g.Arr.Logical(buf.Dev, buf.Start)
-				return cache.ProbeRun(gid, base, stride, n, buf.Data)
+				prefix, suffix = cache.ProbeRun(gid, base, stride, n, buf.Data)
+				if qcache != nil {
+					served := int64(prefix + suffix)
+					qcache.Add(served, int64(n)-served)
+				}
+				return prefix, suffix
 			}
 			r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
 				base := g.Arr.Logical(buf.Dev, buf.Start)
 				io.Sync()
 				for pg := lo; pg < hi; pg++ {
-					cache.Put(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
-						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize])
+					res := cache.PutOwned(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
+						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize], owner)
+					if res&pagecache.PutQuotaRejected != 0 && qcache != nil {
+						qcache.AddQuotaRejected(1)
+					}
 				}
 			}
 		}
@@ -154,7 +168,7 @@ func (s *System) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	for w := 0; w < workers; w++ {
 		id := w
 		ctx.Go(fmt.Sprintf("sync-worker%d", id), func(wp exec.Proc) {
-			cfg.Tracer.Attach(wp, trace.StageCompute, int32(id))
+			cfg.Tracer.AttachQuery(wp, trace.StageCompute, int32(id), cfg.TraceQuery())
 			var out *frontier.VertexSubset
 			if output {
 				out = frontier.NewVertexSubset(c.V)

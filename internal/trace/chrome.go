@@ -30,9 +30,17 @@ func (tr *Trace) WriteChromeJSON(w io.Writer) error {
 		fmt.Fprintf(bw, format, args...)
 	}
 	for _, p := range tr.Procs {
-		// Thread metadata names the proc's track within its stage group.
+		// Thread metadata names the proc's track within its stage group. In
+		// session mode rings from different queries share stage groups and
+		// proc naming, so the owning query prefixes the track name; with
+		// Query < 0 (single-query mode) the output is byte-identical to
+		// what it was before the query dimension existed.
+		name := p.Name
+		if p.Query >= 0 {
+			name = fmt.Sprintf("q%d:%s", p.Query, p.Name)
+		}
 		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
-			int(p.Stage), p.ID, p.Name)
+			int(p.Stage), p.ID, name)
 		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
 			int(p.Stage), p.ID, p.Stage.String())
 	}

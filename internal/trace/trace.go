@@ -132,6 +132,10 @@ const (
 	OpFreeLen
 	OpFilledLen
 	OpFullLen
+	// OpCoalesce is an instant marking a read request served by attaching
+	// to another query's in-flight device read (see internal/iosched); Dev
+	// is the device, Arg the page count coalesced away.
+	OpCoalesce
 	numOps
 )
 
@@ -140,7 +144,7 @@ var opNames = [...]string{
 	"phase", "dev-read", "dev-retry", "cache-hit", "cache-evict",
 	"cache-ghost-hit", "io-wait",
 	"sink-wait", "sink-buf", "bin-flush", "gather-bin",
-	"free-len", "filled-len", "full-len",
+	"free-len", "filled-len", "full-len", "coalesce",
 }
 
 // String returns the op's export name.
@@ -225,6 +229,7 @@ type Ring struct {
 	name  string
 	stage Stage
 	dev   int32
+	query int32 // owning query id in session mode; -1 when single-query
 
 	// active is writer-owned; no other goroutine touches it until Seal.
 	active []Event
@@ -375,13 +380,21 @@ func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 // it. A nil tracer attaches nothing and returns nil, which every emission
 // helper tolerates — engines call Attach unconditionally.
 func (t *Tracer) Attach(p Proc, stage Stage, dev int32) *Ring {
+	return t.AttachQuery(p, stage, dev, -1)
+}
+
+// AttachQuery is Attach with a query-ID dimension: rings from concurrent
+// queries sharing one session carry their owning query so the exporters
+// can demux otherwise identically named per-proc tracks. query -1 means
+// single-query mode and leaves every export byte-identical to Attach.
+func (t *Tracer) AttachQuery(p Proc, stage Stage, dev, query int32) *Ring {
 	if t == nil {
 		return nil
 	}
 	if r := p.TraceRing(); r != nil {
 		return r
 	}
-	r := &Ring{t: t, name: p.Name(), stage: stage, dev: dev}
+	r := &Ring{t: t, name: p.Name(), stage: stage, dev: dev, query: query}
 	t.mu.Lock()
 	r.id = len(t.rings)
 	t.rings = append(t.rings, r)
@@ -392,10 +405,12 @@ func (t *Tracer) Attach(p Proc, stage Stage, dev int32) *Ring {
 
 // ProcTrace is one ring's collected event stream.
 type ProcTrace struct {
-	ID      int
-	Name    string
-	Stage   Stage
-	Dev     int32
+	ID    int
+	Name  string
+	Stage Stage
+	Dev   int32
+	// Query is the owning query id in session mode, -1 otherwise.
+	Query   int32
 	Events  []Event
 	Sampled int64
 }
@@ -428,7 +443,7 @@ func (t *Tracer) Collect() *Trace {
 		sampled := r.sampled
 		r.mu.Unlock()
 		tr.Procs = append(tr.Procs, ProcTrace{
-			ID: r.id, Name: r.name, Stage: r.stage, Dev: r.dev,
+			ID: r.id, Name: r.name, Stage: r.stage, Dev: r.dev, Query: r.query,
 			Events: events, Sampled: sampled,
 		})
 	}
