@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"blaze/algo"
+	"blaze/internal/exec"
+	"blaze/internal/loadgen"
+	"blaze/internal/pagecache"
+	"blaze/internal/registry"
+	"blaze/internal/server"
+	"blaze/internal/session"
+	"blaze/internal/ssd"
+)
+
+// The serving snapshot drives the full serving stack — session, admission
+// queue, priority dispatch, deadlines, open-loop load generator — under
+// the Sim backend and records per-class tail latency, goodput, and
+// rejection rate as the offered load sweeps from light to past capacity.
+
+// ServingLoadFactors are the offered loads the sweep visits, as fractions
+// of the server's estimated capacity (slots / weighted service time). The
+// 1.2 point is deliberately supercritical: that row is where admission
+// control (rejections) and deadlines (expiries) earn their keep.
+var ServingLoadFactors = []float64{0.2, 0.5, 0.8, 1.2}
+
+const (
+	// ServingSlots is the worker count (and session query-slot bound).
+	ServingSlots = 4
+	// ServingQueueDepth bounds the admission queue.
+	ServingQueueDepth = 16
+	// ServingRequests is the arrival count per measured load point.
+	ServingRequests = 160
+	// ServingSeed keys the open-loop arrival schedule.
+	ServingSeed = 1234
+	// ServingTimeoutFactor: interactive requests carry a deadline of this
+	// many serial service times.
+	ServingTimeoutFactor = 20
+	// ServingGateLoadFactor is the subcritical load the CI p99 gate pins.
+	ServingGateLoadFactor = 0.5
+	// ServingGateP99Factor bounds the interactive p99 at the gate load:
+	// p99 must stay under this many serial interactive service times. At
+	// half capacity the queueing contribution is modest; a blowup here
+	// means priority dispatch or admission control regressed.
+	ServingGateP99Factor = 6.0
+)
+
+// ServingEntry is one (load factor, class) row of the serving snapshot.
+type ServingEntry struct {
+	Engine string `json:"engine"`
+	Graph  string `json:"graph"`
+	// LoadFactor is offered/capacity; RatePerSec is the resulting open-loop
+	// arrival rate in model time.
+	LoadFactor float64 `json:"load_factor"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Class      string  `json:"class"`
+	// ServiceNs is the class's serial (uncontended, warmed) service time,
+	// measured before the load is applied — the latency floor.
+	ServiceNs int64 `json:"service_ns"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Late      int64 `json:"late"`
+	Rejected  int64 `json:"rejected"`
+	Expired   int64 `json:"expired"`
+	Failed    int64 `json:"failed"`
+	P50Ns     int64 `json:"p50_ns"`
+	P99Ns     int64 `json:"p99_ns"`
+	// GoodputPerSec counts on-time completions per second of model time;
+	// RejectRate is rejected over offered.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	RejectRate    float64 `json:"reject_rate"`
+}
+
+// ServingRun measures one load point: it builds a fresh session and
+// serving front end over d, measures the warmed serial service time of
+// each class, offers loadFactor times the estimated capacity for
+// ServingRequests arrivals, and returns one entry per class.
+func ServingRun(d *Dataset, loadFactor float64) []ServingEntry {
+	ctx := exec.NewSim()
+	out, in := d.Graphs(ctx, 1, ssd.OptaneSSD, nil, nil)
+	cache := pagecache.New(int64(d.CSR.NumPages()) * ssd.PageSize / 2)
+	sess, err := session.New(ctx, out, in, session.Config{
+		Engine: "blaze",
+		Base: registry.Options{
+			Edges:   d.CSR.E,
+			Workers: 16,
+			NumDev:  1,
+			Profile: ssd.OptaneSSD,
+		},
+		Cache:      cache,
+		MaxQueries: ServingSlots,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: serving: %v", err))
+	}
+	srv := server.New(ctx, sess, server.Config{Slots: ServingSlots, QueueDepth: ServingQueueDepth})
+
+	bfsBody := func(p exec.Proc, q *session.Query) error {
+		_, err := algo.BFS(q.Sys, p, out, d.Start)
+		return err
+	}
+	spmvBody := func(p exec.Proc, q *session.Query) error {
+		x := make([]float64, out.NumVertices())
+		for i := range x {
+			x[i] = 1
+		}
+		_, err := algo.SpMV(q.Sys, p, out, x)
+		return err
+	}
+
+	var entries []ServingEntry
+	ctx.Run("main", func(p exec.Proc) {
+		// Measure each class's serial service time on a warmed cache: run
+		// every body once cold (warming the shared cache), then once
+		// measured. The warmed times are the latency floors the loaded run
+		// is compared against, and they size both the offered rate and the
+		// interactive deadline.
+		serviceNs := func(body session.Body) int64 {
+			t0 := p.Now()
+			if _, err := sess.Run(p, body); err != nil {
+				panic(fmt.Sprintf("bench: serving service measurement: %v", err))
+			}
+			return p.Now() - t0
+		}
+		serviceNs(bfsBody)
+		serviceNs(spmvBody)
+		bfsNs := serviceNs(bfsBody)
+		spmvNs := serviceNs(spmvBody)
+
+		classes := []loadgen.Class{
+			{Name: "bfs", Priority: server.Interactive, Weight: 3,
+				TimeoutNs: ServingTimeoutFactor * bfsNs, Body: bfsBody},
+			{Name: "spmv", Priority: server.Batch, Weight: 1, Body: spmvBody},
+		}
+		weightedNs := (3*bfsNs + spmvNs) / 4
+		rate := loadFactor * ServingSlots * 1e9 / float64(weightedNs)
+
+		srv.Start()
+		rep, err := loadgen.Run(p, srv, loadgen.Config{
+			RatePerSec: rate,
+			Requests:   ServingRequests,
+			Process:    loadgen.Poisson,
+			Seed:       ServingSeed,
+			Classes:    classes,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: serving: %v", err))
+		}
+
+		svc := map[string]int64{"interactive": bfsNs, "batch": spmvNs}
+		for _, c := range rep.Classes {
+			entries = append(entries, ServingEntry{
+				Engine:        "blaze",
+				Graph:         d.Preset.Short,
+				LoadFactor:    loadFactor,
+				RatePerSec:    rate,
+				Class:         c.Class,
+				ServiceNs:     svc[c.Class],
+				Submitted:     c.Submitted,
+				Completed:     c.Completed,
+				Late:          c.Late,
+				Rejected:      c.Rejected,
+				Expired:       c.Expired,
+				Failed:        c.Failed,
+				P50Ns:         c.P50Ns,
+				P99Ns:         c.P99Ns,
+				GoodputPerSec: c.GoodputPerSec,
+				RejectRate:    c.RejectRate,
+			})
+		}
+	})
+	return entries
+}
+
+// ServingSnapshot sweeps the offered load over ServingLoadFactors and
+// returns the per-class rows, sorted for stable diffs.
+func ServingSnapshot(scale float64) ([]ServingEntry, error) {
+	d, err := Load("r2", scale)
+	if err != nil {
+		return nil, err
+	}
+	var entries []ServingEntry
+	for _, lf := range ServingLoadFactors {
+		entries = append(entries, ServingRun(d, lf)...)
+	}
+	SortServing(entries)
+	return entries, nil
+}
+
+// SortServing orders entries by (engine, load factor, class) so snapshot
+// files diff cleanly.
+func SortServing(entries []ServingEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.LoadFactor != b.LoadFactor {
+			return a.LoadFactor < b.LoadFactor
+		}
+		return a.Class < b.Class
+	})
+}
+
+// WriteServingSnapshot writes the entries as indented JSON to path.
+func WriteServingSnapshot(path string, entries []ServingEntry) error {
+	SortServing(entries)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -10,6 +10,7 @@
 //	blaze-bench -exp fig8 -faultTransientRate 0.001  # failure drill
 //	blaze-bench -snapshot BENCH_pipeline.json        # CI perf snapshot
 //	blaze-bench -snapshot-pagecache BENCH_pagecache.json  # cache ablation snapshot
+//	blaze-bench -snapshot-serving BENCH_serving.json      # serving latency-vs-load snapshot
 //	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
 //
@@ -58,6 +59,7 @@ func run() (code int) {
 	snapshot := flag.String("snapshot", "", "write a short-sim pipeline perf snapshot (makespan + allocs per engine) to this JSON file and exit")
 	snapshotPC := flag.String("snapshot-pagecache", "", "write a short-sim page-cache ablation snapshot (LRU vs CLOCK by cache size, with hit rates) to this JSON file and exit")
 	snapshotMQ := flag.String("snapshot-multiquery", "", "write a short-sim concurrent-session snapshot (aggregate throughput and coalesced reads at Q=1/2/4/8) to this JSON file and exit")
+	snapshotServe := flag.String("snapshot-serving", "", "write a short-sim serving snapshot (per-class p50/p99, goodput, reject rate across an arrival-rate sweep) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -156,6 +158,25 @@ func run() (code int) {
 				float64(e.ReadBytes)/1e6, e.CoalescedPages, e.AggThroughputScale)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotMQ)
+		return 0
+	}
+
+	if *snapshotServe != "" {
+		entries, err := bench.ServingSnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-serving: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteServingSnapshot(*snapshotServe, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-serving: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("load=%.1fx rate=%6.0f/s %-11s p50=%8.3fms p99=%8.3fms goodput=%7.1f/s reject=%5.1f%% expired=%d\n",
+				e.LoadFactor, e.RatePerSec, e.Class, float64(e.P50Ns)/1e6,
+				float64(e.P99Ns)/1e6, e.GoodputPerSec, 100*e.RejectRate, e.Expired)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotServe)
 		return 0
 	}
 

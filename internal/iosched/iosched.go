@@ -72,7 +72,6 @@ type flight struct {
 type queryState struct {
 	stats    *metrics.IOStats // attributed counters; may be nil
 	servedNs int64            // device service time this query's reads consumed
-	finished bool
 }
 
 // Scheduler arbitrates one device between concurrent queries. All methods
@@ -121,14 +120,24 @@ func (s *Scheduler) Register(q int32, stats *metrics.IOStats) {
 	s.mu.Unlock()
 }
 
-// Finish removes query q from the active DRR set; its in-flight table
-// entries stay until they expire so late arrivals can still attach.
+// Finish retires query q from the scheduler entirely: it leaves the
+// active DRR set and its per-query state is dropped, so a long-running
+// server does not grow the query table (and the DRR clamp loop's work)
+// with every query ever served. The query's in-flight table entries stay
+// until they expire so late arrivals can still attach.
 func (s *Scheduler) Finish(q int32) {
 	s.mu.Lock()
-	if qs := s.queries[q]; qs != nil {
-		qs.finished = true
-	}
+	delete(s.queries, q)
 	s.mu.Unlock()
+}
+
+// Tracked returns the number of queries the scheduler currently holds
+// state for — the live queries. Bounded-state assertions (the session
+// soak test, /statsz) watch this.
+func (s *Scheduler) Tracked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queries)
 }
 
 // ScheduleRead submits a read of n contiguous local pages starting at
@@ -232,7 +241,7 @@ func (s *Scheduler) drrDelay(q int32, now, bytes int64) int64 {
 	minServed := qs.servedNs
 	peers := 0
 	for id, x := range s.queries {
-		if id == q || x.finished {
+		if id == q {
 			continue
 		}
 		peers++

@@ -186,3 +186,53 @@ func TestTableLookup(t *testing.T) {
 		t.Error("nil table lookup not nil")
 	}
 }
+
+// TestFinishRetiresQuery: a finished query leaves no scheduler state
+// behind — a long-running server that pushes thousands of queries through
+// one device must not grow the query table (or the DRR clamp loop's work)
+// without bound. Regression test: Finish used to mark the entry finished
+// but keep it in the map forever.
+func TestFinishRetiresQuery(t *testing.T) {
+	ctx := exec.NewSim()
+	dev, _ := memDevice(ctx, 64)
+	s := New(ctx, dev, Config{})
+	buf := make([]byte, ssd.PageSize)
+	ctx.Run("main", func(p exec.Proc) {
+		for q := int32(0); q < 200; q++ {
+			s.Register(q, nil)
+			if _, err := s.ScheduleRead(p, q, int64(q)%64, 1, buf); err != nil {
+				t.Errorf("read %d: %v", q, err)
+			}
+			s.Finish(q)
+		}
+	})
+	if got := s.Tracked(); got != 0 {
+		t.Errorf("%d queries still tracked after all finished, want 0", got)
+	}
+}
+
+// TestFinishLeavesPeersUnpaced: after its peer finishes, a query is solo
+// and must never be DRR-delayed — the retired peer cannot linger in the
+// active set as a phantom "most-starved" competitor.
+func TestFinishLeavesPeersUnpaced(t *testing.T) {
+	ctx := exec.NewSim()
+	dev, _ := memDevice(ctx, 64)
+	s := New(ctx, dev, Config{QuantumBytes: ssd.PageSize})
+	s.Register(0, nil)
+	s.Register(1, nil)
+	s.Finish(1)
+	buf := make([]byte, ssd.PageSize)
+	ctx.Run("main", func(p exec.Proc) {
+		// Far beyond one quantum of service: a phantom peer at 0 served-ns
+		// would force delays here.
+		for i := 0; i < 16; i++ {
+			before := p.Now()
+			if _, err := s.ScheduleRead(p, 0, int64(i), 1, buf); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+			if waited := p.Now() - before; waited > 0 {
+				t.Errorf("solo query delayed %dns by a finished peer", waited)
+			}
+		}
+	})
+}

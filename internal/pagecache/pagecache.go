@@ -498,6 +498,38 @@ func (c *Cache) SetQuota(owner int32, pages int64) {
 	c.owners.mu.Unlock()
 }
 
+// DenyOwner gives owner a zero-page quota: at capacity its admissions can
+// only recycle frames it already holds (none, for a fresh query), so it
+// effectively bypasses the cache. The session uses this when active
+// queries outnumber cache pages — the overflow queries are denied rather
+// than letting per-owner quotas sum past capacity. SetQuota(owner, n) or
+// SetQuota(owner, 0) lifts the denial.
+func (c *Cache) DenyOwner(owner int32) {
+	if !c.Enabled() || owner == NoOwner {
+		return
+	}
+	c.owners.mu.Lock()
+	if a := c.owners.m[owner]; a != nil {
+		a.max = 0
+	} else {
+		c.owners.m[owner] = &ownerAcct{max: 0}
+	}
+	c.owners.mu.Unlock()
+}
+
+// QuotaOf returns owner's resident-page quota and whether one is set. A
+// (0, true) result means the owner is denied admission (see DenyOwner);
+// (0, false) means unbounded.
+func (c *Cache) QuotaOf(owner int32) (pages int64, ok bool) {
+	if c == nil {
+		return 0, false
+	}
+	if a := c.owners.get(owner); a != nil {
+		return a.max, true
+	}
+	return 0, false
+}
+
 // OwnerResident returns owner's resident page count under its quota (0
 // without a quota).
 func (c *Cache) OwnerResident(owner int32) int64 {

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ClassReport is one priority class's serving measurements.
+type ClassReport struct {
+	Class string `json:"class"`
+	// Submitted counts admissions; Rejected counts shed submissions
+	// (queue full or draining) — rejected requests are not submissions.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	// Expired requests timed out while queued and never executed; Failed
+	// ones errored. Completed = OnTime + Late were delivered.
+	Expired   int64 `json:"expired"`
+	Failed    int64 `json:"failed"`
+	Completed int64 `json:"completed"`
+	Late      int64 `json:"late"`
+	// Latency percentiles over delivered completions (admission to end of
+	// execution), nearest-rank; 0 when nothing completed.
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	// GoodputPerSec counts only on-time completions against the report
+	// window; RejectRate is rejected over offered (submitted+rejected).
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	RejectRate    float64 `json:"reject_rate"`
+}
+
+// Report is a point-in-time serving summary over a window of model time.
+type Report struct {
+	DurationNs int64         `json:"duration_ns"`
+	Classes    []ClassReport `json:"classes"`
+	// Totals across classes.
+	Submitted     int64   `json:"submitted"`
+	Rejected      int64   `json:"rejected"`
+	Expired       int64   `json:"expired"`
+	Failed        int64   `json:"failed"`
+	Completed     int64   `json:"completed"`
+	Late          int64   `json:"late"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	RejectRate    float64 `json:"reject_rate"`
+}
+
+// Report summarizes everything served so far over a window of durationNs
+// model time (used for goodput; pass the elapsed serving time). Classes
+// appear in priority order, so the output is deterministic.
+func (s *Server) Report(durationNs int64) Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{DurationNs: durationNs}
+	var onTime int64
+	for i := range s.classes {
+		c := &s.classes[i]
+		cr := ClassReport{
+			Class:     Priority(i).String(),
+			Submitted: c.submitted,
+			Rejected:  c.rejected,
+			Expired:   c.expired,
+			Failed:    c.failed,
+			Completed: c.completed,
+			Late:      c.late,
+		}
+		if len(c.latencies) > 0 {
+			lat := append([]int64(nil), c.latencies...)
+			sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+			cr.P50Ns = percentile(lat, 50)
+			cr.P99Ns = percentile(lat, 99)
+			cr.MaxNs = lat[len(lat)-1]
+			var sum int64
+			for _, l := range lat {
+				sum += l
+			}
+			cr.MeanNs = sum / int64(len(lat))
+		}
+		if durationNs > 0 {
+			cr.GoodputPerSec = float64(c.onTime) * 1e9 / float64(durationNs)
+		}
+		if offered := c.submitted + c.rejected; offered > 0 {
+			cr.RejectRate = float64(c.rejected) / float64(offered)
+		}
+		r.Classes = append(r.Classes, cr)
+		r.Submitted += c.submitted
+		r.Rejected += c.rejected
+		r.Expired += c.expired
+		r.Failed += c.failed
+		r.Completed += c.completed
+		r.Late += c.late
+		onTime += c.onTime
+	}
+	if durationNs > 0 {
+		r.GoodputPerSec = float64(onTime) * 1e9 / float64(durationNs)
+	}
+	if offered := r.Submitted + r.Rejected; offered > 0 {
+		r.RejectRate = float64(r.Rejected) / float64(offered)
+	}
+	return r
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted (ascending)
+// latencies; deterministic and exact over the full record.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Fprint writes the report as an aligned table (the -sim serving run and
+// /statsz use it).
+func (r Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %9s %9s %8s %7s %7s %6s %10s %10s %10s %8s\n",
+		"class", "submitted", "completed", "rejected", "expired", "failed",
+		"late", "p50(ms)", "p99(ms)", "goodput/s", "reject")
+	row := func(cr ClassReport) {
+		fmt.Fprintf(w, "%-12s %9d %9d %8d %7d %7d %6d %10.3f %10.3f %10.2f %7.1f%%\n",
+			cr.Class, cr.Submitted, cr.Completed, cr.Rejected, cr.Expired, cr.Failed,
+			cr.Late, float64(cr.P50Ns)/1e6, float64(cr.P99Ns)/1e6,
+			cr.GoodputPerSec, 100*cr.RejectRate)
+	}
+	for _, cr := range r.Classes {
+		row(cr)
+	}
+	fmt.Fprintf(w, "%-12s %9d %9d %8d %7d %7d %6d %10s %10s %10.2f %7.1f%%\n",
+		"total", r.Submitted, r.Completed, r.Rejected, r.Expired, r.Failed,
+		r.Late, "-", "-", r.GoodputPerSec, 100*r.RejectRate)
+}
+
+// StatszText renders the /statsz page: server configuration, queue state,
+// the serving report, and the session's shared-IO state.
+func (s *Server) StatszText(durationNs int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blaze-serve: slots=%d queueDepth=%d queued=%d inflight=%d draining=%v\n",
+		s.cfg.Slots, s.cfg.QueueDepth, s.Queued(), s.Inflight(), s.isDraining())
+	fmt.Fprintf(&b, "window: %.3fs\n\n", float64(durationNs)/1e9)
+	s.Report(durationNs).Fprint(&b)
+	b.WriteString("\n")
+	if cache := s.sess.Cache(); cache.Enabled() {
+		d := cache.StatsDetail()
+		fmt.Fprintf(&b, "page cache: hits=%d misses=%d hitRate=%.1f%% evictions=%d quotaRejected=%d\n",
+			d.Hits, d.Misses, 100*d.HitRate(), d.Evictions, d.QuotaRejected)
+	}
+	for i, sched := range s.sess.Scheds().All() {
+		fmt.Fprintf(&b, "iosched[%d]: tracked=%d\n", i, sched.Tracked())
+	}
+	fmt.Fprintf(&b, "session: active=%d\n", s.sess.Active())
+	return b.String()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -31,6 +31,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -43,6 +44,12 @@ import (
 	"blaze/internal/registry"
 	"blaze/internal/ssd"
 )
+
+// ErrNoSlots is returned by NewQuery when the session's MaxQueries live
+// queries are already active. Callers that queue work (internal/server)
+// treat it as "try again after a Finish"; it never indicates a broken
+// session.
+var ErrNoSlots = errors.New("session: all query slots in use")
 
 // maxJitterNs bounds the deterministic per-query start jitter under the
 // Sim backend: small against any real query (a single page transfer is
@@ -72,6 +79,11 @@ type Config struct {
 	NoDRR        bool
 	// Seed is the deterministic interleave seed (0 = 1).
 	Seed uint64
+	// MaxQueries bounds the live (created, not yet Finished) queries: the
+	// session's query slots. NewQuery returns ErrNoSlots at the bound;
+	// 0 means unbounded (the pre-serving behavior). A long-running front
+	// end sizes its worker pool to this.
+	MaxQueries int
 	// Stats receives session-wide coalescing totals; device-read totals
 	// stay on the stats the graph's devices were built with. May be nil.
 	Stats *metrics.IOStats
@@ -156,14 +168,20 @@ func (s *Session) Scheds() *iosched.Table { return s.scheds }
 func (s *Session) Cache() *pagecache.Cache { return s.cfg.Cache }
 
 // NewQuery registers the next query: allocates its attributed counters,
-// registers it with every device scheduler, recomputes the cache quota
-// split, and (unless the session is bring-your-own-engine) constructs its
-// engine instance through the registry.
+// constructs its engine instance through the registry (unless the session
+// is bring-your-own-engine), registers it with every device scheduler, and
+// recomputes the cache quota split. On failure nothing is left behind: the
+// reserved slot is released and no scheduler ever saw the id, so the
+// active count and quota splits of later queries are unaffected.
 func (s *Session) NewQuery() (*Query, error) {
 	s.mu.Lock()
+	if s.cfg.MaxQueries > 0 && s.active >= s.cfg.MaxQueries {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d of %d)", ErrNoSlots, s.cfg.MaxQueries, s.cfg.MaxQueries)
+	}
 	id := s.nextID
 	s.nextID++
-	s.active++
+	s.active++ // reserve the slot before the (fallible) construction below
 	s.mu.Unlock()
 
 	q := &Query{
@@ -171,7 +189,6 @@ func (s *Session) NewQuery() (*Query, error) {
 		IO:    metrics.NewIOStats(s.Out.Arr.NumDevices()),
 		Cache: &metrics.CacheCounters{},
 	}
-	s.scheds.Register(id, q.IO)
 	if s.cfg.Engine != "" {
 		opts := s.cfg.Base
 		opts.Stats = q.IO
@@ -181,16 +198,30 @@ func (s *Session) NewQuery() (*Query, error) {
 		opts.QueryCache = q.Cache
 		sys, err := registry.New(s.cfg.Engine, s.Ctx, opts)
 		if err != nil {
+			s.mu.Lock()
+			s.active--
+			s.mu.Unlock()
 			return nil, err
 		}
 		q.Sys = sys
 	}
+	s.scheds.Register(id, q.IO)
 	s.mu.Lock()
 	s.queries = append(s.queries, q)
 	s.mu.Unlock()
 	s.rebalanceQuotas()
 	return q, nil
 }
+
+// Active returns the number of live (created, not yet Finished) queries.
+func (s *Session) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Slots returns the session's query-slot bound (0 = unbounded).
+func (s *Session) Slots() int { return s.cfg.MaxQueries }
 
 // EngineConfig returns base rewired as q's session engine config: shared
 // scheduler table and page cache, the query's identity and attributed
@@ -207,6 +238,13 @@ func (s *Session) EngineConfig(base engine.Config, q *Query) engine.Config {
 // rebalanceQuotas splits cache capacity evenly between active queries.
 // SetQuota only gates future admissions, so shares grow in place as
 // queries finish (resident pages are never retroactively evicted).
+//
+// When active queries outnumber cache pages an even split would round to
+// zero, and the old "at least one page each" clamp made per-owner quotas
+// sum past capacity. Instead only the first capPages live queries (in
+// creation order — the ones closest to finishing) hold a one-page quota;
+// the overflow queries are denied admission outright until a slot frees
+// up, so the quotas always sum to at most the capacity.
 func (s *Session) rebalanceQuotas() {
 	if s.capPages == 0 {
 		return
@@ -217,19 +255,25 @@ func (s *Session) rebalanceQuotas() {
 		return
 	}
 	share := s.capPages / int64(s.active)
+	holders := len(s.queries)
 	if share < 1 {
 		share = 1
+		holders = int(s.capPages)
 	}
-	for _, q := range s.queries {
-		if !q.finished {
+	for i, q := range s.queries {
+		if i < holders {
 			s.cfg.Cache.SetQuota(q.ID, share)
+		} else {
+			s.cfg.Cache.DenyOwner(q.ID)
 		}
 	}
 }
 
 // Finish retires q: its scheduler accounts leave the DRR active set (its
 // in-flight reads stay attachable until they expire), its cache quota is
-// released, and the survivors' shares grow.
+// released, and the survivors' shares grow. The query also leaves the
+// session's live set, so session state stays bounded no matter how many
+// queries a long-running server pushes through.
 func (s *Session) Finish(q *Query) {
 	s.mu.Lock()
 	if q.finished {
@@ -238,6 +282,12 @@ func (s *Session) Finish(q *Query) {
 	}
 	q.finished = true
 	s.active--
+	for i, lq := range s.queries {
+		if lq == q {
+			s.queries = append(s.queries[:i], s.queries[i+1:]...)
+			break
+		}
+	}
 	s.mu.Unlock()
 	s.scheds.Finish(q.ID)
 	if s.capPages > 0 {
@@ -246,7 +296,7 @@ func (s *Session) Finish(q *Query) {
 	s.rebalanceQuotas()
 }
 
-// Queries returns every query registered so far, in creation order.
+// Queries returns the live (not yet Finished) queries, in creation order.
 func (s *Session) Queries() []*Query {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -268,6 +318,12 @@ func (s *Session) Run(p exec.Proc, bodies ...Body) ([]*Query, error) {
 	for i := range bodies {
 		q, err := s.NewQuery()
 		if err != nil {
+			// Unwind the queries already created: without Finish they
+			// would hold slots, quota shares, and scheduler accounts
+			// forever, skewing every future quota split.
+			for _, prev := range qs[:i] {
+				s.Finish(prev)
+			}
 			return nil, err
 		}
 		qs[i] = q
