@@ -1,93 +1,220 @@
 package algo
 
 import (
+	"math"
+
 	"blaze/internal/engine"
 	"blaze/internal/exec"
 	"blaze/internal/frontier"
 )
 
-// BFS runs breadth-first search from src (paper Algorithm 1) and returns
-// the parent array: Parent[v] = predecessor of v in the BFS tree,
-// Parent[src] = src, and -1 for unreachable vertices. A non-nil error means
-// the engine failed mid-traversal; the parent array is partial.
+// BFS runs breadth-first search from src (paper Algorithm 1) under the
+// system's preferred driver and returns the parent array: Parent[v] =
+// predecessor of v in the BFS tree, Parent[src] = src, and -1 for
+// unreachable vertices. A non-nil error means the engine failed
+// mid-traversal; the parent array is partial.
 func BFS(sys System, p exec.Proc, g *engine.Graph, src uint32) ([]int64, error) {
+	parent, _, err := BFSDrive(DriverFor(sys), sys, p, g, src, Convergence{})
+	return parent, err
+}
+
+// BFSDrive runs BFS under an explicit driver and convergence contract,
+// returning the parent array and the driver's iteration count. Barrier
+// drivers use the classic set-once formulation (identical rounds to the
+// original hand-rolled loop); barrier-free drivers use label-correcting
+// depth relaxation, whose converged depths equal BFS depths exactly. The
+// relaxed candidate packs (depth, parent) into the scattered float64 —
+// exact for depths below 2^21, far past any graph the engines run.
+func BFSDrive(drv Driver, sys System, p exec.Proc, g *engine.Graph, src uint32, cv Convergence) ([]int64, int, error) {
 	n := g.NumVertices()
 	parent := make([]int64, n)
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = int64(src)
-	f := frontier.Single(n, src)
+	if drv.Barrier() {
+		fns := EdgeFuncs{
+			Scatter: func(s, d uint32) float64 { return float64(s) },
+			Gather: func(d uint32, v float64) bool {
+				if parent[d] == -1 {
+					parent[d] = int64(v)
+					return true
+				}
+				return false
+			},
+			Cond: func(d uint32) bool { return parent[d] == -1 },
+		}
+		round := func(p exec.Proc, f *frontier.VertexSubset, _ int) (*frontier.VertexSubset, error) {
+			return sys.EdgeMap(p, g, f, fns, true)
+		}
+		iters, err := drv.Drive(p, sys, g, frontier.Single(n, src), round, cv)
+		return parent, iters, err
+	}
+	// Barrier-free: waves may process activations out of level order, so
+	// a visited bit is not enough — depths relax downward until no edge
+	// can improve one, at which point every depth is the exact BFS depth
+	// and every parent sits one level above its child.
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	var waveFloor int32
 	fns := EdgeFuncs{
-		Scatter: func(s, d uint32) float64 { return float64(s) },
+		Scatter: func(s, d uint32) float64 {
+			return float64(uint64(depth[s]+1)<<32 | uint64(s))
+		},
 		Gather: func(d uint32, v float64) bool {
-			if parent[d] == -1 {
-				parent[d] = int64(v)
+			enc := uint64(v)
+			nd := int32(enc >> 32)
+			if depth[d] == -1 || nd < depth[d] {
+				depth[d] = nd
+				parent[d] = int64(uint32(enc))
 				return true
 			}
 			return false
 		},
-		Cond: func(d uint32) bool { return parent[d] == -1 },
+		// No candidate in this wave is shallower than waveFloor, so a
+		// vertex already at or above it cannot improve.
+		Cond: func(d uint32) bool { return depth[d] == -1 || depth[d] > waveFloor },
 	}
-	for !f.Empty() {
-		var err error
-		f, err = sys.EdgeMap(p, g, f, fns, true)
-		if err != nil {
-			return parent, err
+	round := func(p exec.Proc, f *frontier.VertexSubset, _ int) (*frontier.VertexSubset, error) {
+		f.Seal()
+		floor := int32(math.MaxInt32)
+		f.ForEach(func(v uint32) {
+			if dv := depth[v]; dv >= 0 && dv < floor {
+				floor = dv
+			}
+		})
+		if floor == math.MaxInt32 {
+			floor = 0
 		}
-		sys.EndIteration(p)
+		waveFloor = floor + 1
+		return sys.EdgeMap(p, g, f, fns, true)
 	}
-	return parent, nil
+	iters, err := drv.Drive(p, sys, g, frontier.Single(n, src), round, cv)
+	return parent, iters, err
 }
 
 // AlgoMemoryBFS returns the algorithm-array bytes BFS allocates (Fig. 12).
 func AlgoMemoryBFS(n uint32) int64 { return int64(n) * 8 }
 
-// PageRank runs the PageRank-delta variant (paper Algorithm 2): vertices
-// stay active only while their rank keeps changing by more than eps
-// relative to their current rank. It returns the rank vector (proportional
-// to true PageRank; normalize before comparing). maxIter bounds the
-// iteration count (0 = until convergence).
+// PageRank runs the PageRank-delta variant (paper Algorithm 2) under the
+// system's preferred driver: vertices stay active only while their rank
+// keeps changing by more than eps relative to their current rank. It
+// returns the rank vector (proportional to true PageRank; normalize
+// before comparing). maxIter bounds the iteration count (0 = until
+// convergence).
 func PageRank(sys System, p exec.Proc, g *engine.Graph, eps float64, maxIter int) ([]float64, error) {
+	rank, _, err := PageRankDrive(DriverFor(sys), sys, p, g, eps, Convergence{MaxIters: maxIter})
+	return rank, err
+}
+
+// PageRankDrive runs PageRank-delta under an explicit driver and
+// convergence contract, returning the rank vector and the driver's
+// iteration count. When cv.Tol > 0 and cv.Residual is nil, a default
+// residual — the total unpropagated rank mass — is installed, so
+// tolerance-based convergence works out of the box on both drivers.
+// Barrier drivers run the paper's Jacobi-style rounds; barrier-free
+// drivers run an equivalent residual-push formulation (a vertex's pending
+// mass is taken exactly when it is processed, so no mass is lost or
+// double-counted across waves).
+func PageRankDrive(drv Driver, sys System, p exec.Proc, g *engine.Graph, eps float64, cv Convergence) ([]float64, int, error) {
 	n := g.NumVertices()
 	const damping = 0.85
-	rank := make([]float64, n)
-	nghSum := make([]float64, n)
-	delta := make([]float64, n)
-	for i := range delta {
-		delta[i] = 1.0 / float64(n)
-		rank[i] = delta[i]
+	if drv.Barrier() {
+		rank := make([]float64, n)
+		nghSum := make([]float64, n)
+		delta := make([]float64, n)
+		for i := range delta {
+			delta[i] = 1.0 / float64(n)
+			rank[i] = delta[i]
+		}
+		fns := EdgeFuncs{
+			Scatter: func(s, d uint32) float64 {
+				return delta[s] / float64(g.CSR.Degree(s))
+			},
+			Gather: func(d uint32, v float64) bool {
+				nghSum[d] += v
+				return true
+			},
+			Cond: func(d uint32) bool { return true },
+		}
+		var residual float64
+		applyFilter := func(i uint32) bool {
+			delta[i] = nghSum[i] * damping
+			nghSum[i] = 0
+			if abs(delta[i]) > eps*rank[i] {
+				rank[i] += delta[i]
+				residual += abs(delta[i])
+				return true
+			}
+			delta[i] = 0
+			return false
+		}
+		round := func(p exec.Proc, f *frontier.VertexSubset, _ int) (*frontier.VertexSubset, error) {
+			receivers, err := sys.EdgeMap(p, g, f, fns, true)
+			if err != nil {
+				return nil, err
+			}
+			residual = 0
+			return sys.VertexMap(p, receivers, applyFilter), nil
+		}
+		cv2 := cv
+		if cv2.Tol > 0 && cv2.Residual == nil {
+			cv2.Residual = func() float64 { return residual }
+		}
+		iters, err := drv.Drive(p, sys, g, frontier.All(n), round, cv2)
+		return rank, iters, err
 	}
-	f := frontier.All(n)
+	// Barrier-free residual push: res holds mass received but not yet
+	// applied, carry the per-edge share a processed vertex is scattering
+	// this wave. Taking res at process time (not apply-on-gather) keeps
+	// the formulation exact under any wave order.
+	rank := make([]float64, n)
+	res := make([]float64, n)
+	carry := make([]float64, n)
+	for i := range res {
+		res[i] = 1.0 / float64(n)
+	}
 	fns := EdgeFuncs{
-		Scatter: func(s, d uint32) float64 {
-			return delta[s] / float64(g.CSR.Degree(s))
-		},
+		Scatter: func(s, d uint32) float64 { return carry[s] },
 		Gather: func(d uint32, v float64) bool {
-			nghSum[d] += v
-			return true
+			res[d] += v
+			return abs(res[d]) > eps*rank[d]
 		},
 		Cond: func(d uint32) bool { return true },
 	}
-	applyFilter := func(i uint32) bool {
-		delta[i] = nghSum[i] * damping
-		nghSum[i] = 0
-		if abs(delta[i]) > eps*rank[i] {
-			rank[i] += delta[i]
+	takeFilter := func(s uint32) bool {
+		take := res[s]
+		res[s] = 0
+		rank[s] += take
+		carry[s] = 0
+		if take == 0 {
+			return false
+		}
+		if deg := g.CSR.Degree(s); deg > 0 {
+			carry[s] = damping * take / float64(deg)
 			return true
 		}
-		delta[i] = 0
 		return false
 	}
-	for iter := 0; !f.Empty() && (maxIter == 0 || iter < maxIter); iter++ {
-		receivers, err := sys.EdgeMap(p, g, f, fns, true)
-		if err != nil {
-			return rank, err
-		}
-		f = sys.VertexMap(p, receivers, applyFilter)
-		sys.EndIteration(p)
+	round := func(p exec.Proc, f *frontier.VertexSubset, _ int) (*frontier.VertexSubset, error) {
+		h := sys.VertexMap(p, f, takeFilter)
+		return sys.EdgeMap(p, g, h, fns, true)
 	}
-	return rank, nil
+	cv2 := cv
+	if cv2.Tol > 0 && cv2.Residual == nil {
+		cv2.Residual = func() float64 {
+			var total float64
+			for _, r := range res {
+				total += abs(r)
+			}
+			return total
+		}
+	}
+	iters, err := drv.Drive(p, sys, g, frontier.All(n), round, cv2)
+	return rank, iters, err
 }
 
 // AlgoMemoryPageRank returns PageRank-delta's three float arrays (Fig. 12).
@@ -101,11 +228,21 @@ func PageRankOneIteration(sys System, p exec.Proc, g *engine.Graph) ([]float64, 
 }
 
 // WCC computes weakly connected components with shortcutting label
-// propagation (paper Algorithm 3) on the graph viewed as undirected, which
-// is why it propagates over both the forward graph outG and its transpose
-// inG. It returns a label array where two vertices have equal labels iff
-// they are weakly connected.
+// propagation (paper Algorithm 3) under the system's preferred driver, on
+// the graph viewed as undirected, which is why it propagates over both
+// the forward graph outG and its transpose inG. It returns a label array
+// where two vertices have equal labels iff they are weakly connected.
 func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) ([]uint32, error) {
+	ids, _, err := WCCDrive(DriverFor(sys), sys, p, outG, inG, Convergence{})
+	return ids, err
+}
+
+// WCCDrive runs WCC under an explicit driver and convergence contract,
+// returning the label array and the driver's iteration count. Min-label
+// propagation is already monotone, so the same edge functions are exact
+// under both barrier rounds and barrier-free waves: either way the fixed
+// point assigns every vertex its component's minimum ID.
+func WCCDrive(drv Driver, sys System, p exec.Proc, outG, inG *engine.Graph, cv Convergence) ([]uint32, int, error) {
 	n := outG.NumVertices()
 	ids := make([]uint32, n)
 	prev := make([]uint32, n)
@@ -135,22 +272,21 @@ func WCC(sys System, p exec.Proc, outG, inG *engine.Graph) ([]uint32, error) {
 		}
 		return false
 	}
-	f := frontier.All(n)
-	for !f.Empty() {
+	round := func(p exec.Proc, f *frontier.VertexSubset, _ int) (*frontier.VertexSubset, error) {
 		a, err := sys.EdgeMap(p, outG, f, fns, true)
 		if err != nil {
-			return ids, err
+			return nil, err
 		}
 		b, err := sys.EdgeMap(p, inG, f, fns, true)
 		if err != nil {
-			return ids, err
+			return nil, err
 		}
 		a.Merge(b)
 		a.Merge(f) // shortcutting must also re-check prior frontier members
-		f = sys.VertexMap(p, a, applyFilter)
-		sys.EndIteration(p)
+		return sys.VertexMap(p, a, applyFilter), nil
 	}
-	return ids, nil
+	iters, err := drv.Drive(p, sys, outG, frontier.All(n), round, cv)
+	return ids, iters, err
 }
 
 // AlgoMemoryWCC returns WCC's two ID arrays (Fig. 12).
@@ -158,7 +294,8 @@ func AlgoMemoryWCC(n uint32) int64 { return 2 * int64(n) * 4 }
 
 // SpMV multiplies the graph's adjacency matrix (edges s→d as A[d][s] = 1,
 // multi-edges accumulate) with the vector x: y[d] = Σ_{s→d} x[s]. One full
-// EdgeMap pass, as in the paper's evaluation.
+// EdgeMap pass, as in the paper's evaluation; there is no iteration to
+// drive, so SpMV is driver-independent.
 func SpMV(sys System, p exec.Proc, g *engine.Graph, x []float64) ([]float64, error) {
 	n := g.NumVertices()
 	y := make([]float64, n)
@@ -187,6 +324,21 @@ func AlgoMemorySpMV(n uint32) int64 { return 2 * int64(n) * 8 }
 // implementation it stores one frontier per BFS level, which is why BC has
 // the largest memory footprint (§V-F).
 func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) ([]float64, error) {
+	delta, _, err := BCDrive(DriverFor(sys), sys, p, outG, inG, src, Convergence{})
+	return delta, err
+}
+
+// BCDrive runs BC under an explicit driver and convergence contract,
+// returning the dependency scores and the total iteration count across
+// both phases. Brandes' phases are inherently level-synchronous — sigma
+// sums all same-level contributions before the next level, and the
+// backward sweep replays the recorded levels — so barrier-free drivers
+// fall back to barrier rounds here; cv (the iteration cap) still applies
+// to the forward phase.
+func BCDrive(drv Driver, sys System, p exec.Proc, outG, inG *engine.Graph, src uint32, cv Convergence) ([]float64, int, error) {
+	if !drv.Barrier() {
+		drv = RoundDriver{}
+	}
 	n := outG.NumVertices()
 	depth := make([]int32, n)
 	sigma := make([]float64, n)
@@ -195,56 +347,59 @@ func BC(sys System, p exec.Proc, outG, inG *engine.Graph, src uint32) ([]float64
 	}
 	depth[src] = 0
 	sigma[src] = 1
+	delta := make([]float64, n)
 
 	var levels []*frontier.VertexSubset
-	f := frontier.Single(n, src)
-	round := int32(0)
-	delta := make([]float64, n)
-	for !f.Empty() {
+	var r int32
+	fwdFns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return sigma[s] },
+		Gather: func(d uint32, v float64) bool {
+			if depth[d] == -1 {
+				depth[d] = r
+				sigma[d] = v
+				return true
+			}
+			if depth[d] == r {
+				sigma[d] += v
+			}
+			return false
+		},
+		Cond: func(d uint32) bool { return depth[d] == -1 || depth[d] == r },
+	}
+	forward := func(p exec.Proc, f *frontier.VertexSubset, iter int) (*frontier.VertexSubset, error) {
 		levels = append(levels, f)
-		round++
-		r := round
-		var err error
-		f, err = sys.EdgeMap(p, outG, f, EdgeFuncs{
-			Scatter: func(s, d uint32) float64 { return sigma[s] },
-			Gather: func(d uint32, v float64) bool {
-				if depth[d] == -1 {
-					depth[d] = r
-					sigma[d] = v
-					return true
-				}
-				if depth[d] == r {
-					sigma[d] += v
-				}
-				return false
-			},
-			Cond: func(d uint32) bool { return depth[d] == -1 || depth[d] == round },
-		}, true)
-		if err != nil {
-			return delta, err
-		}
-		sys.EndIteration(p)
+		r = int32(iter) + 1
+		return sys.EdgeMap(p, outG, f, fwdFns, true)
+	}
+	iters, err := drv.Drive(p, sys, outG, frontier.Single(n, src), forward, cv)
+	if err != nil || len(levels) <= 1 {
+		return delta, iters, err
 	}
 
-	for l := len(levels) - 1; l >= 1; l-- {
-		w := levels[l]
-		lvl := int32(l)
-		_, err := sys.EdgeMap(p, inG, w, EdgeFuncs{
-			Scatter: func(s, d uint32) float64 { return (1 + delta[s]) / sigma[s] },
-			Gather: func(d uint32, v float64) bool {
-				if depth[d] == lvl-1 {
-					delta[d] += sigma[d] * v
-				}
-				return false
-			},
-			Cond: func(d uint32) bool { return depth[d] == lvl-1 },
-		}, false)
-		if err != nil {
-			return delta, err
-		}
-		sys.EndIteration(p)
+	var lvl int32
+	backFns := EdgeFuncs{
+		Scatter: func(s, d uint32) float64 { return (1 + delta[s]) / sigma[s] },
+		Gather: func(d uint32, v float64) bool {
+			if depth[d] == lvl-1 {
+				delta[d] += sigma[d] * v
+			}
+			return false
+		},
+		Cond: func(d uint32) bool { return depth[d] == lvl-1 },
 	}
-	return delta, nil
+	backward := func(p exec.Proc, w *frontier.VertexSubset, iter int) (*frontier.VertexSubset, error) {
+		l := len(levels) - 1 - iter
+		lvl = int32(l)
+		if _, err := sys.EdgeMap(p, inG, w, backFns, false); err != nil {
+			return nil, err
+		}
+		if l > 1 {
+			return levels[l-1], nil
+		}
+		return frontier.NewVertexSubset(n), nil
+	}
+	bIters, err := drv.Drive(p, sys, inG, levels[len(levels)-1], backward, Convergence{})
+	return delta, iters + bIters, err
 }
 
 // AlgoMemoryBC returns BC's arrays plus the per-level frontier estimate

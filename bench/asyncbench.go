@@ -1,0 +1,48 @@
+package bench
+
+// The async snapshot measures what the barrier-free driver buys on the
+// workload the barrier hurts most: a high-diameter crawl (sk2005,
+// diameter ~205), where level-synchronous BFS runs hundreds of rounds
+// and pays a pipeline drain-and-refill stall at every one. The
+// barrier-free driver replaces the per-level barrier with priority-
+// ordered page waves, so the same traversal issues its IO as one long
+// stream. The snapshot records blaze (barrier rounds) next to
+// blaze-async (page waves) for BFS and PageRank, and CI gates on the
+// BFS makespan ratio.
+
+// AsyncBFSGate is the CI bound on the blaze-async/blaze BFS makespan
+// ratio on the high-diameter graph: the barrier-free driver must be at
+// least as fast as barrier rounds where barrier stalls dominate.
+const AsyncBFSGate = 1.0
+
+// AsyncGraph is the dataset the async snapshot measures: the paper's
+// highest-diameter crawl, the worst case for per-level barriers.
+const AsyncGraph = "sk"
+
+// AsyncSnapshot runs BFS and PageRank on the high-diameter crawl under
+// both drivers and returns one SnapshotEntry per (engine, query), the
+// same shape the pipeline snapshot uses, so the files diff alike.
+// PageRank runs 5 fixed iterations under blaze; under blaze-async the
+// same cap bounds the processed mass (MaxIters × the initial frontier),
+// holding the two runs to comparable work.
+func AsyncSnapshot(scale float64) ([]SnapshotEntry, error) {
+	d, err := Load(AsyncGraph, scale)
+	if err != nil {
+		return nil, err
+	}
+	var entries []SnapshotEntry
+	for _, system := range []string{"blaze", "blaze-async"} {
+		for _, query := range []string{"bfs", "pr"} {
+			res := Run(d, Opts{System: system, Query: query, PRIters: 5})
+			entries = append(entries, SnapshotEntry{
+				Engine:     system,
+				Query:      query,
+				Graph:      d.Preset.Short,
+				MakespanNs: res.ElapsedNs,
+				ReadBytes:  res.ReadBytes,
+			})
+		}
+	}
+	SortSnapshot(entries)
+	return entries, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestAsyncSnapshotGate: on the high-diameter crawl the barrier-free
+// driver must not lose to barrier rounds on BFS — the workload whose
+// hundreds of levels exist to amortize. This is the CI perf gate for
+// the async driver.
+func TestAsyncSnapshotGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four measured runs; skipped in -short mode")
+	}
+	entries, err := AsyncSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blazeNs, asyncNs int64
+	for _, e := range entries {
+		if e.Query != "bfs" {
+			continue
+		}
+		switch e.Engine {
+		case "blaze":
+			blazeNs = e.MakespanNs
+		case "blaze-async":
+			asyncNs = e.MakespanNs
+		}
+	}
+	if blazeNs == 0 || asyncNs == 0 {
+		t.Fatalf("snapshot missing bfs entries: %+v", entries)
+	}
+	if float64(asyncNs) > AsyncBFSGate*float64(blazeNs) {
+		t.Errorf("async bfs makespan %dns exceeds %.2fx blaze (%dns) on %s",
+			asyncNs, AsyncBFSGate, blazeNs, AsyncGraph)
+	}
+}
+
+// TestAsyncSnapshotDeterministic: the snapshot is a pure function of the
+// sim, so two runs produce identical measurements — the property that
+// lets CI diff BENCH_async.json against a stored baseline.
+func TestAsyncSnapshotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight measured runs; skipped in -short mode")
+	}
+	a, err := AsyncSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AsyncSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("entry %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

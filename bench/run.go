@@ -38,6 +38,16 @@ type Opts struct {
 	PageCache *pagecache.Cache
 	// PRIters caps PageRank iterations (0 = 15).
 	PRIters int
+	// Driver forces the iteration driver: "" or "auto" defers to the
+	// engine's preference (barrier rounds everywhere except blaze-async),
+	// "round" forces barrier rounds, "async" forces barrier-free page
+	// waves fed by PageCache's heat signal.
+	Driver string
+	// ConvergeTol is handed to the driver's convergence contract
+	// (0 = iterate until the frontier empties or the cap hits).
+	ConvergeTol float64
+	// AsyncWavePages caps one async wave's page frontier (0 = default).
+	AsyncWavePages int
 	// TimelineBucketNs enables bandwidth timeline collection.
 	TimelineBucketNs int64
 	// Model overrides the cost model (zero value = Default).
@@ -116,19 +126,20 @@ func Run(d *Dataset, o Opts) Result {
 	}
 
 	ro := registry.Options{
-		Edges:         d.CSR.E,
-		Workers:       o.ComputeWorkers,
-		Ratio:         o.Ratio,
-		NumDev:        o.NumDev,
-		Profile:       o.Profile,
-		Model:         &model,
-		Stats:         stats,
-		Mem:           mem,
-		BinCount:      o.BinCount,
-		BinSpaceBytes: o.BinSpace,
-		IOBufferBytes: o.IOBufBytes,
-		PageCache:     o.PageCache,
-		Tracer:        o.Tracer,
+		Edges:          d.CSR.E,
+		Workers:        o.ComputeWorkers,
+		Ratio:          o.Ratio,
+		NumDev:         o.NumDev,
+		Profile:        o.Profile,
+		Model:          &model,
+		Stats:          stats,
+		Mem:            mem,
+		BinCount:       o.BinCount,
+		BinSpaceBytes:  o.BinSpace,
+		IOBufferBytes:  o.IOBufBytes,
+		PageCache:      o.PageCache,
+		Tracer:         o.Tracer,
+		AsyncWavePages: o.AsyncWavePages,
 	}
 	// FlashGraph's page cache (1 GB on the paper's testbed) must scale
 	// with the datasets, or it would swallow the scaled graphs whole
@@ -142,11 +153,23 @@ func Run(d *Dataset, o Opts) Result {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
 
+	drv := algo.DriverFor(sys)
+	switch o.Driver {
+	case "", "auto":
+	case "round":
+		drv = algo.RoundDriver{}
+	case "async":
+		drv = &algo.AsyncDriver{Cache: o.PageCache, WavePages: o.AsyncWavePages}
+	default:
+		panic(fmt.Sprintf("bench: unknown driver %q", o.Driver))
+	}
+	cv := algo.Convergence{Tol: o.ConvergeTol}
+
 	res := Result{Opts: o, Graph: d.Preset.Short, Timeline: tl, Mem: mem}
 	ctx.Run("main", func(p exec.Proc) {
 		switch o.Query {
 		case "bfs":
-			parent := algo.Must(algo.BFS(sys, p, out, d.Start))
+			parent := algo.Must2(algo.BFSDrive(drv, sys, p, out, d.Start, cv))
 			res.AlgoBytes = algo.AlgoMemoryBFS(out.NumVertices())
 			_ = parent
 		case "pr":
@@ -154,13 +177,15 @@ func Run(d *Dataset, o Opts) Result {
 			// iterations, matching full-scale behaviour where PR-delta
 			// needs far more iterations to converge than the scaled
 			// datasets do.
-			algo.Must(algo.PageRank(sys, p, out, 1e-9, o.PRIters))
+			prCv := cv
+			prCv.MaxIters = o.PRIters
+			algo.Must2(algo.PageRankDrive(drv, sys, p, out, 1e-9, prCv))
 			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
 		case "pr1":
 			algo.Must(algo.PageRankOneIteration(sys, p, out))
 			res.AlgoBytes = algo.AlgoMemoryPageRank(out.NumVertices())
 		case "wcc":
-			algo.Must(algo.WCC(sys, p, out, in))
+			algo.Must2(algo.WCCDrive(drv, sys, p, out, in, cv))
 			res.AlgoBytes = algo.AlgoMemoryWCC(out.NumVertices())
 		case "spmv":
 			x := make([]float64, out.NumVertices())
@@ -170,7 +195,7 @@ func Run(d *Dataset, o Opts) Result {
 			algo.Must(algo.SpMV(sys, p, out, x))
 			res.AlgoBytes = algo.AlgoMemorySpMV(out.NumVertices())
 		case "bc":
-			algo.Must(algo.BC(sys, p, out, in, d.Start))
+			algo.Must2(algo.BCDrive(drv, sys, p, out, in, d.Start, cv))
 			levels := len(sys.IterDeviceBytes())
 			res.Levels = levels
 			res.AlgoBytes = algo.AlgoMemoryBC(out.NumVertices(), levels)

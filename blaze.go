@@ -43,6 +43,7 @@ package blaze
 import (
 	"fmt"
 
+	"blaze/algo"
 	"blaze/gen"
 	"blaze/internal/costmodel"
 	"blaze/internal/engine"
@@ -446,6 +447,26 @@ func EdgeMap[V any](c *Ctx, g *Graph, f *VertexSubset,
 // which fn was true.
 func VertexMap(c *Ctx, f *VertexSubset, fn func(v uint32) bool) *VertexSubset {
 	return engine.VertexMap(c.P, f, fn, c.config())
+}
+
+// Convergence is the iteration-driver stopping contract shared by the
+// built-in queries: zero value = run until the frontier empties,
+// MaxIters caps the iteration count, and Tol stops once the query's
+// residual (for PageRank, the total unpropagated rank mass) falls to the
+// tolerance. See algo.Convergence.
+type Convergence = algo.Convergence
+
+// PageRank runs the out-of-core PageRank-delta algorithm (paper
+// Algorithm 2) on g under the iteration-driver layer, returning the rank
+// vector and the number of iterations the driver ran before the
+// convergence contract stopped it. eps is the per-vertex activation
+// threshold; cv bounds the drive (Convergence{} iterates until no rank
+// moves, Convergence{MaxIters: 20} reproduces the classic fixed cap,
+// Tol adds a residual stop).
+func (c *Ctx) PageRank(g *Graph, eps float64, cv Convergence) ([]float64, int, error) {
+	sys := algo.NewBlaze(c.rt.ctx, c.config())
+	c.RegisterAlgoMemory(algo.AlgoMemoryPageRank(g.NumVertices()))
+	return algo.PageRankDrive(algo.DriverFor(sys), sys, c.P, g, eps, cv)
 }
 
 // QueryReport summarizes one query of a RunConcurrent session: its

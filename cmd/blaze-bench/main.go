@@ -11,6 +11,7 @@
 //	blaze-bench -snapshot BENCH_pipeline.json        # CI perf snapshot
 //	blaze-bench -snapshot-pagecache BENCH_pagecache.json  # cache ablation snapshot
 //	blaze-bench -snapshot-serving BENCH_serving.json      # serving latency-vs-load snapshot
+//	blaze-bench -snapshot-async BENCH_async.json          # barrier-free driver snapshot
 //	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
 //
@@ -60,6 +61,7 @@ func run() (code int) {
 	snapshotPC := flag.String("snapshot-pagecache", "", "write a short-sim page-cache ablation snapshot (LRU vs CLOCK by cache size, with hit rates) to this JSON file and exit")
 	snapshotMQ := flag.String("snapshot-multiquery", "", "write a short-sim concurrent-session snapshot (aggregate throughput and coalesced reads at Q=1/2/4/8) to this JSON file and exit")
 	snapshotServe := flag.String("snapshot-serving", "", "write a short-sim serving snapshot (per-class p50/p99, goodput, reject rate across an arrival-rate sweep) to this JSON file and exit")
+	snapshotAsync := flag.String("snapshot-async", "", "write a short-sim async-driver snapshot (blaze vs blaze-async makespans on the high-diameter crawl) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -177,6 +179,24 @@ func run() (code int) {
 				float64(e.P99Ns)/1e6, e.GoodputPerSec, 100*e.RejectRate, e.Expired)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotServe)
+		return 0
+	}
+
+	if *snapshotAsync != "" {
+		entries, err := bench.AsyncSnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-async: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteSnapshot(*snapshotAsync, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-async: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-12s %-4s makespan=%8.3fms read=%6.1fMB\n",
+				e.Engine, e.Query, float64(e.MakespanNs)/1e6, float64(e.ReadBytes)/1e6)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotAsync)
 		return 0
 	}
 

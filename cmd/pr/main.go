@@ -21,10 +21,11 @@ func main() {
 	}
 	defer env.Close()
 	var rank []float64
+	var iters int
 	qs, qerr := env.RunQueries(opts, func(p exec.Proc, sys algo.System, i int) error {
-		r, err := algo.PageRank(sys, p, env.Out, opts.Epsilon, opts.MaxIters)
+		r, it, err := algo.PageRankDrive(env.QueryDriver(sys), sys, p, env.Out, opts.Epsilon, opts.Convergence())
 		if i == 0 {
-			rank = r
+			rank, iters = r, it
 		}
 		return err
 	})
@@ -40,7 +41,7 @@ func main() {
 		top = append(top, vr{uint32(v), r})
 	}
 	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
-	extra := "top ranks:"
+	extra := fmt.Sprintf("%d iterations; top ranks:", iters)
 	for i := 0; i < 5 && i < len(top); i++ {
 		extra += fmt.Sprintf(" v%d=%.3g", top[i].v, top[i].r)
 	}

@@ -55,6 +55,12 @@ type Options struct {
 	InterleaveSeed uint64
 	MaxIters       int
 	Epsilon        float64
+	// Driver selects the iteration driver (auto = the engine's own
+	// preference); ConvergeTol is the residual tolerance handed to the
+	// driver's convergence contract; AsyncWavePages caps one async wave.
+	Driver         string
+	ConvergeTol    float64
+	AsyncWavePages int
 	InIndex        string
 	InAdj          string
 	IndexPath      string
@@ -121,8 +127,15 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.IntVar(&o.Devices, "devices", 1, "number of SSDs to stripe the graph over")
 	fs.StringVar(&o.Profile, "profile", "optane", "device profile: optane, nand, znand, vnand")
 	fs.BoolVar(&o.Sim, "sim", false, "run under the deterministic virtual-time backend")
-	fs.IntVar(&o.MaxIters, "maxIters", 20, "iteration cap for iterative queries (pr)")
+	maxItersDefault := 0
+	if tool == "pr" {
+		maxItersDefault = 20
+	}
+	fs.IntVar(&o.MaxIters, "maxIters", maxItersDefault, "iteration cap for every driven query (bfs, pr, wcc, bc); 0 = run to convergence")
 	fs.Float64Var(&o.Epsilon, "epsilon", 0.001, "PageRank-delta activation threshold")
+	fs.StringVar(&o.Driver, "driver", "auto", "iteration driver: auto (the engine's preference), round (barrier rounds), async (barrier-free page waves)")
+	fs.Float64Var(&o.ConvergeTol, "converge-tol", 0, "stop when the driver's residual (pr: total unpropagated rank mass) falls to this tolerance (0 = off)")
+	fs.IntVar(&o.AsyncWavePages, "asyncWavePages", 0, "page-frontier cap per async wave (0 = default)")
 	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "page cache size in MB (0 = off, the paper's configuration); caches the blaze engines and overrides flashgraph's built-in budget")
 	fs.StringVar(&o.PageCachePolicy, "pageCachePolicy", "clock", "page-cache eviction policy: clock (sharded second chance) or lru (single-shard ablation baseline)")
 	fs.IntVar(&o.Concurrency, "concurrency", 1, "concurrent replicas of the query against one shared graph session (session-capable engines: "+strings.Join(registry.SessionNames(), ", ")+")")
@@ -209,6 +222,29 @@ type Env struct {
 	// RO is the registry option set Setup built the engine from; concurrent
 	// sessions construct each replica's engine from the same options.
 	RO registry.Options
+
+	driver         string
+	asyncWavePages int
+}
+
+// QueryDriver resolves the -driver flag for sys: auto defers to the
+// engine's own preference (algo.DriverFor), round forces barrier rounds,
+// async forces barrier-free page waves fed by the -pageCache heat signal.
+// The flag is validated in Setup, so unknown values cannot reach here.
+func (e *Env) QueryDriver(sys algo.System) algo.Driver {
+	switch e.driver {
+	case "round":
+		return algo.RoundDriver{}
+	case "async":
+		return &algo.AsyncDriver{Cache: e.Cache, WavePages: e.asyncWavePages}
+	}
+	return algo.DriverFor(sys)
+}
+
+// Convergence assembles the -maxIters and -converge-tol flags into the
+// driver contract shared by every query tool.
+func (o *Options) Convergence() algo.Convergence {
+	return algo.Convergence{MaxIters: o.MaxIters, Tol: o.ConvergeTol}
 }
 
 // Setup loads the graphs and builds the engine selected by -engine
@@ -220,6 +256,11 @@ func Setup(o *Options) (*Env, error) {
 	}
 	if o.Engine == "" {
 		o.Engine = "blaze"
+	}
+	switch o.Driver {
+	case "", "auto", "round", "async":
+	default:
+		return nil, fmt.Errorf("unknown driver %q (have auto, round, async)", o.Driver)
 	}
 	var ctx exec.Context
 	if o.Sim {
@@ -277,17 +318,20 @@ func Setup(o *Options) (*Env, error) {
 	// reach the engine layer directly; the registry builds each engine's
 	// own config from the same options.
 	ro := registry.Options{
-		Edges:     out.NumEdges(),
-		Workers:   o.ComputeWorkers,
-		Ratio:     o.BinningRatio,
-		NumDev:    o.Devices,
-		Profile:   prof,
-		Stats:     stats,
-		BinCount:  o.BinCount,
-		PageCache: cache,
-		DevOpts:   devOpts,
-		Tracer:    env.Tracer,
+		Edges:          out.NumEdges(),
+		Workers:        o.ComputeWorkers,
+		Ratio:          o.BinningRatio,
+		NumDev:         o.Devices,
+		Profile:        prof,
+		Stats:          stats,
+		BinCount:       o.BinCount,
+		PageCache:      cache,
+		DevOpts:        devOpts,
+		Tracer:         env.Tracer,
+		AsyncWavePages: o.AsyncWavePages,
 	}
+	env.driver = o.Driver
+	env.asyncWavePages = o.AsyncWavePages
 	if o.PageCacheMB > 0 {
 		// The flag also sizes flashgraph's built-in cache, so one knob
 		// governs caching across engines.

@@ -96,6 +96,41 @@ func TestSetupErrors(t *testing.T) {
 	}
 }
 
+// TestDriverResolution: -driver round/async force the named driver on
+// any engine, auto defers to the engine's preference, and unknown
+// values are rejected at Setup time.
+func TestDriverResolution(t *testing.T) {
+	base := writeTestGraph(t)
+	opts := func(engine, driver string) *Options {
+		return &Options{
+			Engine: engine, Driver: driver, Profile: "optane", Devices: 1,
+			ComputeWorkers: 2, Sim: true,
+			IndexPath: base + ".gr.index", AdjPath: base + ".gr.adj.0",
+		}
+	}
+	for _, tc := range []struct {
+		engine, driver, want string
+	}{
+		{"blaze", "auto", "round"},
+		{"blaze-async", "auto", "async"},
+		{"blaze", "async", "async"},
+		{"blaze-async", "round", "round"},
+		{"blaze", "", "round"},
+	} {
+		env, err := Setup(opts(tc.engine, tc.driver))
+		if err != nil {
+			t.Fatalf("Setup(%s, -driver %s): %v", tc.engine, tc.driver, err)
+		}
+		if got := env.QueryDriver(env.Sys).Name(); got != tc.want {
+			t.Errorf("engine %s -driver %q resolved %q, want %q", tc.engine, tc.driver, got, tc.want)
+		}
+		env.Close()
+	}
+	if _, err := Setup(opts("blaze", "bulk")); err == nil {
+		t.Error("unknown -driver accepted")
+	}
+}
+
 func TestBinSpaceOverride(t *testing.T) {
 	base := writeTestGraph(t)
 	env, err := Setup(&Options{

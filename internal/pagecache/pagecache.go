@@ -665,6 +665,24 @@ func (c *Cache) Get(key Key, out []byte) bool {
 	return false
 }
 
+// Resident reports whether key is currently cached, without copying the
+// page, counting a hit or miss, or touching the eviction state (CLOCK
+// reference bits, LRU recency). It exists as a side-effect-free heat
+// probe for schedulers that prioritize resident pages — the async
+// driver's hot-page-first wave ordering — where a Get-shaped probe would
+// both distort the hit-rate accounting and promote pages the prober may
+// never read.
+func (c *Cache) Resident(key Key) bool {
+	if !c.Enabled() {
+		return false
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	_, ok := s.items[key]
+	s.mu.Unlock()
+	return ok
+}
+
 // Put inserts a copy of data, evicting per the shard policy as needed. It
 // is page-size-strict: data must be exactly graph.PageSize bytes, or the
 // put is rejected (and counted) — caching a short entry would leave a

@@ -123,6 +123,52 @@ func TestCLOCKEverybodyGetsOneChance(t *testing.T) {
 	}
 }
 
+// TestResidentSideEffectFree: Resident answers presence without any of
+// Get's side effects — no hit/miss accounting, no data copy, and no
+// CLOCK reference bit, so a heavily probed page is evicted exactly as if
+// it had never been probed. The async driver's wave ordering leans on
+// this: it probes every frontier page each wave, and a probe that set
+// reference bits would pin the whole frontier in cache.
+func TestResidentSideEffectFree(t *testing.T) {
+	const cap = 4
+	c := NewWithPolicy(cap*graph.PageSize, PolicyCLOCK)
+	g := c.GraphID("g")
+	if c.Resident(Key{g, 0}) {
+		t.Fatal("Resident true on empty cache")
+	}
+	for i := int64(0); i < cap; i++ {
+		c.Put(Key{g, i}, page(byte(i)))
+	}
+	for i := int64(0); i < cap; i++ {
+		if !c.Resident(Key{g, i}) {
+			t.Fatalf("page %d just inserted but not Resident", i)
+		}
+	}
+	if c.Resident(Key{g, 99}) {
+		t.Error("Resident true for a page never inserted")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("Resident probes moved the hit/miss counters to (%d,%d), want (0,0)", h, m)
+	}
+	// Probe page 0 hard, then insert a new page: an unreferenced victim
+	// is evicted, and the probes must not have counted as references —
+	// page 0 (the first CLOCK hand candidate) goes, probes or not.
+	for i := 0; i < 100; i++ {
+		c.Resident(Key{g, 0})
+	}
+	c.Put(Key{g, 50}, page(50))
+	if c.Resident(Key{g, 0}) {
+		t.Error("probed page survived the sweep: Resident set a reference bit")
+	}
+	if c.Len() != cap {
+		t.Errorf("Len = %d, want %d", c.Len(), cap)
+	}
+	var disabled *Cache
+	if disabled.Resident(Key{g, 0}) {
+		t.Error("nil cache reports a resident page")
+	}
+}
+
 // TestGhostListScanResistance: a page that bounces out and back while
 // still remembered by the ghost list is readmitted hot (reference bit
 // set), so it survives the next sweep ahead of scan pages.

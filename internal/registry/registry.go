@@ -6,12 +6,15 @@
 //
 // Registered engines:
 //
-//	blaze       the online-binning engine (the paper's system)
-//	blaze-sync  the synchronization-based variant ("sync" is an alias)
-//	flashgraph  the FlashGraph-style message-passing baseline
-//	graphene    the Graphene-style paired IO/compute baseline
-//	inmem       the Ligra-style in-core engine (no IO; needs adjacency
-//	            in memory, as do graphene's self-placed devices)
+//	blaze        the online-binning engine (the paper's system)
+//	blaze-async  blaze driven barrier-free: priority-ordered page waves
+//	             (cache-resident first) with convergence detection
+//	             instead of round counting (see algo.AsyncDriver)
+//	blaze-sync   the synchronization-based variant ("sync" is an alias)
+//	flashgraph   the FlashGraph-style message-passing baseline
+//	graphene     the Graphene-style paired IO/compute baseline
+//	inmem        the Ligra-style in-core engine (no IO; needs adjacency
+//	             in memory, as do graphene's self-placed devices)
 package registry
 
 import (
@@ -81,6 +84,9 @@ type Options struct {
 	// pipeline stages (see internal/trace); enable it to collect span
 	// timelines and stage statistics.
 	Tracer *trace.Tracer
+	// AsyncWavePages caps one blaze-async wave's page frontier
+	// (0 = algo.DefaultWavePages); the other engines ignore it.
+	AsyncWavePages int
 
 	// Scheds, QueryID and QueryCache are the session-aware construction
 	// surface (see internal/session): when Scheds is non-nil the engine
@@ -140,6 +146,7 @@ func (o Options) BlazeConfig() engine.Config {
 		cfg.IOBufferBytes = o.IOBufferBytes
 	}
 	cfg.Tracer = o.Tracer
+	cfg.AsyncWavePages = o.AsyncWavePages
 	cfg.Scheds = o.Scheds
 	cfg.QueryID = o.QueryID
 	cfg.QueryCache = o.QueryCache
@@ -221,6 +228,9 @@ func Names() []string {
 func init() {
 	Register("blaze", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return algo.NewBlaze(ctx, o.BlazeConfig())
+	}})
+	Register("blaze-async", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
+		return algo.NewAsyncBlaze(ctx, o.BlazeConfig())
 	}})
 	sync := Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return syncvar.New(ctx, o.BlazeConfig())
