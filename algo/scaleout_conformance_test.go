@@ -1,0 +1,191 @@
+// Scale-out conformance: blaze-scaleout must compute the same answers as
+// the serial references at every machine count — partitioning the edges by
+// destination and round-tripping the frontier through the interconnect's
+// wire format must not change a single result. The suite lives next to the
+// engine conformance tests and shares their graph construction.
+package algo_test
+
+import (
+	"math"
+	"testing"
+
+	"blaze/algo"
+	"blaze/gen"
+	"blaze/internal/cluster"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/graph"
+	"blaze/internal/registry"
+	"blaze/internal/ssd"
+)
+
+// scaleoutMachines are the machine counts under test; M=1 degenerates to
+// one local engine with no exchange, M=2/4 exercise the delta protocol.
+var scaleoutMachines = []int{1, 2, 4}
+
+// sysScaleout builds a blaze-scaleout system over a fresh virtual-time
+// context and graph pair, one device per machine.
+func sysScaleout(t *testing.T, machines int, c *graph.CSR) (exec.Context, algo.System, *engine.Graph, *engine.Graph) {
+	t.Helper()
+	ctx := exec.NewSim()
+	out := engine.FromCSR(ctx, "sconf", c, 1, ssd.OptaneSSD, nil, nil)
+	in := engine.FromCSR(ctx, "sconf.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil)
+	sys, err := registry.New("blaze-scaleout", ctx, registry.Options{
+		Edges:    c.E,
+		Workers:  4,
+		NumDev:   1,
+		Profile:  ssd.OptaneSSD,
+		Machines: machines,
+	})
+	if err != nil {
+		t.Fatalf("registry.New(blaze-scaleout): %v", err)
+	}
+	return ctx, sys, out, in
+}
+
+// TestScaleoutConformanceBFS: at every machine count the parent array is a
+// valid BFS forest with the reference depths — the exchanged frontier
+// reaches exactly the vertices the serial traversal reaches, at the same
+// levels.
+func TestScaleoutConformanceBFS(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 202} {
+		c := randomCSR(seed, 800)
+		ref := algo.RefBFSDepth(c, 0)
+		for _, m := range scaleoutMachines {
+			ctx, sys, g, _ := sysScaleout(t, m, c)
+			var parent []int64
+			ctx.Run("main", func(p exec.Proc) {
+				parent = algo.Must(algo.BFS(sys, p, g, 0))
+			})
+			if v, ok := algo.CheckParents(c, 0, parent, ref); !ok {
+				t.Errorf("seed %d, M=%d: invalid BFS forest at vertex %d", seed, m, v)
+			}
+		}
+	}
+}
+
+// TestScaleoutConformanceWCC: min-label propagation is order-independent,
+// so the label arrays must be bit-identical across machine counts, and the
+// partition must match union-find.
+func TestScaleoutConformanceWCC(t *testing.T) {
+	for _, seed := range []uint64{3, 91} {
+		c := randomCSR(seed, 500)
+		ref := algo.RefWCC(c)
+		var base []uint32
+		for _, m := range scaleoutMachines {
+			ctx, sys, g, in := sysScaleout(t, m, c)
+			var ids []uint32
+			ctx.Run("main", func(p exec.Proc) {
+				ids = algo.Must(algo.WCC(sys, p, g, in))
+			})
+			if !algo.SamePartition(ids, ref) {
+				t.Errorf("seed %d, M=%d: WCC partition differs from union-find", seed, m)
+			}
+			if base == nil {
+				base = ids
+				continue
+			}
+			for v := range base {
+				if ids[v] != base[v] {
+					t.Fatalf("seed %d, M=%d: label[%d] = %d, M=1 has %d", seed, m, v, ids[v], base[v])
+				}
+			}
+		}
+	}
+}
+
+// TestScaleoutConformanceSpMV: with an integer-valued x every partial sum
+// is exact in float64, so the product must equal the serial reference
+// bit for bit regardless of how the edges were split across machines.
+func TestScaleoutConformanceSpMV(t *testing.T) {
+	c := randomCSR(7, 2000)
+	x := make([]float64, c.V)
+	r := gen.NewRNG(11)
+	for i := range x {
+		x[i] = float64(r.Intn(100))
+	}
+	ref := algo.RefSpMV(c, x)
+	for _, m := range scaleoutMachines {
+		ctx, sys, g, _ := sysScaleout(t, m, c)
+		var y []float64
+		ctx.Run("main", func(p exec.Proc) {
+			y = algo.Must(algo.SpMV(sys, p, g, x))
+		})
+		for v := range ref {
+			if y[v] != ref[v] {
+				t.Fatalf("M=%d: y[%d] = %g, reference %g", m, v, y[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestScaleoutConformanceBC: Brandes dependency scores against the serial
+// reference to reassociation tolerance (the backward sweep sums floats).
+func TestScaleoutConformanceBC(t *testing.T) {
+	c := randomCSR(23, 900)
+	ref := algo.RefBC(c, 0)
+	for _, m := range scaleoutMachines {
+		ctx, sys, g, in := sysScaleout(t, m, c)
+		var dep []float64
+		ctx.Run("main", func(p exec.Proc) {
+			dep = algo.Must(algo.BC(sys, p, g, in, 0))
+		})
+		for v := range ref {
+			if math.Abs(dep[v]-ref[v]) > 1e-6*math.Max(1, math.Abs(ref[v])) {
+				t.Fatalf("M=%d: BC[%d] = %g, reference %g", m, v, dep[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestScaleoutConformancePageRank: rank vectors against the serial
+// PR-delta reference, same recurrence with a different summation order.
+func TestScaleoutConformancePageRank(t *testing.T) {
+	c := randomCSR(29, 3000)
+	ref := algo.RefPageRankDelta(c, 0.01, 20)
+	for _, m := range scaleoutMachines {
+		ctx, sys, g, _ := sysScaleout(t, m, c)
+		var rank []float64
+		ctx.Run("main", func(p exec.Proc) {
+			rank = algo.Must(algo.PageRank(sys, p, g, 0.01, 20))
+		})
+		for v := range ref {
+			rel := math.Abs(rank[v]-ref[v]) / math.Max(ref[v], 1e-12)
+			if rel > 1e-6 {
+				t.Fatalf("M=%d: rank[%d] = %g, reference %g", m, v, rank[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestScaleoutDeterministicReplay: two same-seed runs at M=4 must agree on
+// every observable — results, virtual-time makespan, and the interconnect
+// counters (messages, bytes, retransmissions) — bit for bit.
+func TestScaleoutDeterministicReplay(t *testing.T) {
+	c := randomCSR(55, 1500)
+	type obs struct {
+		parent []int64
+		end    int64
+		net    interface{}
+	}
+	run := func() obs {
+		ctx, sys, g, _ := sysScaleout(t, 4, c)
+		var parent []int64
+		ctx.Run("main", func(p exec.Proc) {
+			parent = algo.Must(algo.BFS(sys, p, g, 0))
+		})
+		return obs{parent, ctx.(*exec.Sim).End, sys.(*cluster.Cluster).NetStats()}
+	}
+	a, b := run(), run()
+	if a.end != b.end {
+		t.Errorf("makespan differs across same-seed runs: %d vs %d", a.end, b.end)
+	}
+	if a.net != b.net {
+		t.Errorf("interconnect counters differ: %+v vs %+v", a.net, b.net)
+	}
+	for v := range a.parent {
+		if a.parent[v] != b.parent[v] {
+			t.Fatalf("parent[%d] differs: %d vs %d", v, a.parent[v], b.parent[v])
+		}
+	}
+}

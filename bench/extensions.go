@@ -128,7 +128,8 @@ func runQuery(sys algo.System, p exec.Proc, query string, out, in *engine.Graph,
 
 // ScaleOut measures the paper's §VI future-work design: M one-Optane
 // machines over a destination-hash-partitioned graph, local binning, and
-// an inter-iteration broadcast on a modeled 25 Gb/s network.
+// an inter-iteration sparse-delta exchange (serialized frontier updates,
+// one message per peer) over a modeled 25 Gb/s full-duplex interconnect.
 func ScaleOut(scale float64) []Table {
 	t := Table{
 		ID:     "scaleout",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blaze/algo"
+	"blaze/internal/cluster"
 	"blaze/internal/costmodel"
 	"blaze/internal/exec"
 	"blaze/internal/metrics"
@@ -56,6 +57,12 @@ type Opts struct {
 	// pipeline stages; enable it before Run to collect spans (Run leaves
 	// collection to the caller).
 	Tracer *trace.Tracer
+	// Machines, NetBandwidth and NetLatNs configure blaze-scaleout (the
+	// destination-partition count and the modeled interconnect); the
+	// single-machine engines ignore them.
+	Machines     int
+	NetBandwidth float64
+	NetLatNs     int64
 }
 
 // Result is one measured run.
@@ -70,6 +77,14 @@ type Result struct {
 	// AlgoBytes is the query's vertex-array footprint.
 	AlgoBytes int64
 	Levels    int // BFS/BC level count
+	// DeviceBytes is the per-device read split (device IDs are
+	// machine*NumDev+dev under blaze-scaleout).
+	DeviceBytes []int64
+	// NetBytes/NetMsgs/NetRetrans are the interconnect counters; zero for
+	// every engine but blaze-scaleout.
+	NetBytes   int64
+	NetMsgs    int64
+	NetRetrans int64
 }
 
 // AvgBW returns the run's average read bandwidth in bytes/second — total
@@ -105,7 +120,7 @@ func (o Opts) withDefaults() Opts {
 func Run(d *Dataset, o Opts) Result {
 	o = o.withDefaults()
 	ctx := exec.NewSim()
-	stats := metrics.NewIOStats(maxInt(o.NumDev, 8))
+	stats := metrics.NewIOStats(maxInt(o.NumDev*maxInt(o.Machines, 1), 8))
 	var tl *metrics.Timeline
 	if o.TimelineBucketNs > 0 {
 		tl = metrics.NewTimeline(o.TimelineBucketNs)
@@ -140,6 +155,9 @@ func Run(d *Dataset, o Opts) Result {
 		PageCache:      o.PageCache,
 		Tracer:         o.Tracer,
 		AsyncWavePages: o.AsyncWavePages,
+		Machines:       o.Machines,
+		NetBandwidth:   o.NetBandwidth,
+		NetLatencyNs:   o.NetLatNs,
 	}
 	// FlashGraph's page cache (1 GB on the paper's testbed) must scale
 	// with the datasets, or it would swallow the scaled graphs whole
@@ -206,6 +224,11 @@ func Run(d *Dataset, o Opts) Result {
 	res.ElapsedNs = ctx.End
 	res.ReadBytes = stats.TotalBytes()
 	res.IterBytes = sys.IterDeviceBytes()
+	res.DeviceBytes = stats.DeviceBytes()
+	if cl, ok := sys.(*cluster.Cluster); ok {
+		ns := cl.NetStats()
+		res.NetBytes, res.NetMsgs, res.NetRetrans = ns.Bytes, ns.Messages, ns.Retransmits
+	}
 	mem.Set("algo-arrays", res.AlgoBytes)
 	return res
 }

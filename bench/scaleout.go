@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+)
+
+// The scale-out snapshot measures what destination partitioning buys: M
+// machines each hold 1/M of the edges on their own device array, so the
+// aggregate read bandwidth grows M-fold while the interconnect charges for
+// every exchanged frontier delta. On an IO-bound query the bandwidth win
+// must dominate the network cost — that is the whole point of the design —
+// and CI gates on it. The snapshot records makespan, wire traffic, and the
+// per-machine read split for M=1/2/4 on the high-locality crawl.
+
+// ScaleoutGraph is the dataset the scale-out snapshot measures (the
+// crawl also used by the async snapshot; its dense adjacency makes the
+// IO-bound legs genuinely device-limited).
+const ScaleoutGraph = "sk"
+
+// ScaleoutGateQuery is the IO-bound query the CI gate checks: SpMV reads
+// every edge once with no inter-round frontier exchange, so machine count
+// translates directly into aggregate bandwidth.
+const ScaleoutGateQuery = "spmv"
+
+// ScaleoutSpeedupFloor is the CI bound: 4 machines must finish the gate
+// query at least this much faster than 1.
+const ScaleoutSpeedupFloor = 1.5
+
+// ScaleoutMachineCounts is the snapshot's M sweep.
+var ScaleoutMachineCounts = []int{1, 2, 4}
+
+// scaleoutQueries are the measured queries: the IO-bound gate query plus
+// the two frontier-driven ones that actually exercise the interconnect.
+var scaleoutQueries = []string{"spmv", "bfs", "pr"}
+
+// ScaleoutEntry is one (query, machines) measurement in BENCH_scaleout.json.
+type ScaleoutEntry struct {
+	Engine     string `json:"engine"`
+	Query      string `json:"query"`
+	Graph      string `json:"graph"`
+	Machines   int    `json:"machines"`
+	MakespanNs int64  `json:"makespan_ns"`
+	ReadBytes  int64  `json:"read_bytes"`
+	// NetBytes/NetMsgs/NetRetrans are the interconnect's wire counters
+	// (zero at M=1, where no exchange happens).
+	NetBytes   int64 `json:"net_bytes"`
+	NetMsgs    int64 `json:"net_msgs"`
+	NetRetrans int64 `json:"net_retrans"`
+	// PerMachineReadBytes is each machine's local-array read volume.
+	PerMachineReadBytes []int64 `json:"per_machine_read_bytes"`
+	// SpeedupVsM1 is the same query's M=1 makespan over this one.
+	SpeedupVsM1 float64 `json:"speedup_vs_m1"`
+}
+
+// ScaleoutSnapshot sweeps blaze-scaleout over ScaleoutMachineCounts on the
+// crawl and returns one entry per (query, machines).
+func ScaleoutSnapshot(scale float64) ([]ScaleoutEntry, error) {
+	d, err := Load(ScaleoutGraph, scale)
+	if err != nil {
+		return nil, err
+	}
+	base := map[string]int64{}
+	var entries []ScaleoutEntry
+	for _, m := range ScaleoutMachineCounts {
+		for _, query := range scaleoutQueries {
+			res := Run(d, Opts{System: "blaze-scaleout", Query: query, Machines: m, PRIters: 5})
+			per := make([]int64, m)
+			for dev, b := range res.DeviceBytes {
+				if dev < m { // one device per machine in this sweep
+					per[dev] += b
+				}
+			}
+			e := ScaleoutEntry{
+				Engine:              "blaze-scaleout",
+				Query:               query,
+				Graph:               d.Preset.Short,
+				Machines:            m,
+				MakespanNs:          res.ElapsedNs,
+				ReadBytes:           res.ReadBytes,
+				NetBytes:            res.NetBytes,
+				NetMsgs:             res.NetMsgs,
+				NetRetrans:          res.NetRetrans,
+				PerMachineReadBytes: per,
+			}
+			if m == 1 {
+				base[query] = res.ElapsedNs
+			}
+			if b := base[query]; b > 0 && res.ElapsedNs > 0 {
+				e.SpeedupVsM1 = float64(b) / float64(res.ElapsedNs)
+			}
+			entries = append(entries, e)
+		}
+	}
+	SortScaleout(entries)
+	return entries, nil
+}
+
+// SortScaleout orders entries by (query, machines) for deterministic files.
+func SortScaleout(entries []ScaleoutEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Machines < b.Machines
+	})
+}
+
+// WriteScaleoutSnapshot writes the entries as indented JSON to path.
+func WriteScaleoutSnapshot(path string, entries []ScaleoutEntry) error {
+	SortScaleout(entries)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScaleoutSnapshotGate: the reason to scale out at all — 4 machines'
+// aggregate device bandwidth must clearly beat 1 machine on the IO-bound
+// gate query, network charges included. This is the CI perf gate for the
+// scale-out engine.
+func TestScaleoutSnapshotGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine measured runs; skipped in -short mode")
+	}
+	entries, err := ScaleoutSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m4 int64
+	for _, e := range entries {
+		if e.Query != ScaleoutGateQuery {
+			continue
+		}
+		switch e.Machines {
+		case 1:
+			m1 = e.MakespanNs
+		case 4:
+			m4 = e.MakespanNs
+		}
+	}
+	if m1 == 0 || m4 == 0 {
+		t.Fatalf("snapshot missing %s entries: %+v", ScaleoutGateQuery, entries)
+	}
+	if speedup := float64(m1) / float64(m4); speedup < ScaleoutSpeedupFloor {
+		t.Errorf("M=4 %s speedup %.2fx below the %.2fx floor (M=1 %dns, M=4 %dns) on %s",
+			ScaleoutGateQuery, speedup, ScaleoutSpeedupFloor, m1, m4, ScaleoutGraph)
+	}
+}
+
+// TestScaleoutSnapshotShape: every (query, machines) cell is present, the
+// M=1 legs move no network traffic, the exchange-driven legs do, and the
+// per-machine read split covers every machine.
+func TestScaleoutSnapshotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine measured runs; skipped in -short mode")
+	}
+	entries, err := ScaleoutSnapshot(DefaultScale / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ScaleoutMachineCounts) * len(scaleoutQueries); len(entries) != want {
+		t.Fatalf("%d entries, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		if len(e.PerMachineReadBytes) != e.Machines {
+			t.Errorf("%s M=%d: per-machine split has %d entries", e.Query, e.Machines, len(e.PerMachineReadBytes))
+		}
+		for m, b := range e.PerMachineReadBytes {
+			if b <= 0 {
+				t.Errorf("%s M=%d: machine %d read nothing", e.Query, e.Machines, m)
+			}
+		}
+		switch {
+		case e.Machines == 1 && e.NetBytes != 0:
+			t.Errorf("%s M=1 moved %d network bytes; no peers exist", e.Query, e.NetBytes)
+		case e.Machines > 1 && e.Query == "bfs" && e.NetBytes == 0:
+			t.Errorf("bfs M=%d exchanged no frontier deltas", e.Machines)
+		}
+		if e.MakespanNs <= 0 || e.ReadBytes <= 0 {
+			t.Errorf("%s M=%d: empty measurement %+v", e.Query, e.Machines, e)
+		}
+	}
+}
+
+// TestScaleoutSnapshotDeterministic: the sweep is a pure function of the
+// sim — two runs must agree on every field, network byte counts included,
+// which is what lets CI diff BENCH_scaleout.json against a baseline.
+func TestScaleoutSnapshotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eighteen measured runs; skipped in -short mode")
+	}
+	a, err := ScaleoutSnapshot(DefaultScale / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleoutSnapshot(DefaultScale / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("snapshots differ across same-seed runs:\n%s\nvs\n%s", aj, bj)
+	}
+}

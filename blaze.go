@@ -45,6 +45,7 @@ import (
 
 	"blaze/algo"
 	"blaze/gen"
+	"blaze/internal/cluster"
 	"blaze/internal/costmodel"
 	"blaze/internal/engine"
 	"blaze/internal/exec"
@@ -84,6 +85,11 @@ type Runtime struct {
 	tl      *metrics.Timeline
 	mem     *metrics.MemAccount
 	elapsed int64
+
+	// Scale-out knobs (WithScaleout / WithNetwork).
+	machines int
+	netBW    float64
+	netLatNs int64
 
 	// Concurrent-session knobs (RunConcurrent).
 	interleaveSeed uint64
@@ -213,6 +219,23 @@ func WithRetryPolicy(maxRetries int, backoffNs int64) Option {
 	}
 }
 
+// WithScaleout partitions built-in queries (Ctx.PageRank) across m
+// destination-partitioned machines, each with its own device array of
+// WithDevices size, exchanging sparse vertex deltas over a modeled
+// interconnect after every round (see internal/cluster). m <= 1 keeps the
+// single-machine engine.
+func WithScaleout(m int) Option {
+	return func(rt *Runtime) { rt.machines = m }
+}
+
+// WithNetwork sets the scale-out interconnect model: each link direction's
+// bandwidth in bytes/second and the per-message latency in nanoseconds
+// (0 keeps the defaults, 25 Gb/s and 10 µs). Only meaningful together with
+// WithScaleout.
+func WithNetwork(bandwidthBytesPerSec float64, latencyNs int64) Option {
+	return func(rt *Runtime) { rt.netBW = bandwidthBytesPerSec; rt.netLatNs = latencyNs }
+}
+
 // WithInterleaveSeed sets the deterministic interleave seed RunConcurrent
 // uses under the simulated backend: a fixed seed reproduces the exact same
 // concurrent schedule run after run, different seeds exercise different
@@ -266,7 +289,13 @@ func New(opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(rt)
 	}
-	rt.stats = metrics.NewIOStats(rt.numDev)
+	statDevs := rt.numDev
+	if rt.machines > 1 {
+		// Scale-out graphs stripe each machine's partition over its own
+		// device array; device IDs run to machines*numDev.
+		statDevs *= rt.machines
+	}
+	rt.stats = metrics.NewIOStats(statDevs)
 	rt.cfg.Stats = rt.stats
 	rt.cfg.Mem = rt.mem
 	if !rt.ctx.IsSim() {
@@ -464,9 +493,33 @@ type Convergence = algo.Convergence
 // moves, Convergence{MaxIters: 20} reproduces the classic fixed cap,
 // Tol adds a residual stop).
 func (c *Ctx) PageRank(g *Graph, eps float64, cv Convergence) ([]float64, int, error) {
-	sys := algo.NewBlaze(c.rt.ctx, c.config())
+	sys := c.querySystem(g)
 	c.RegisterAlgoMemory(algo.AlgoMemoryPageRank(g.NumVertices()))
 	return algo.PageRankDrive(algo.DriverFor(sys), sys, c.P, g, eps, cv)
+}
+
+// querySystem builds the algo.System the built-in queries run on: the
+// single-machine blaze engine by default, or a destination-partitioned
+// cluster when WithScaleout(m > 1) is set (the graph needs in-memory
+// adjacency for partitioning; EdgeMap surfaces an error otherwise).
+func (c *Ctx) querySystem(g *Graph) algo.System {
+	if c.rt.machines <= 1 {
+		return algo.NewBlaze(c.rt.ctx, c.config())
+	}
+	cfg := cluster.DefaultConfig(c.rt.machines, g.NumEdges())
+	ecfg := c.config()
+	cfg.DevicesPerMachine = c.rt.numDev
+	cfg.Profile = c.rt.profile
+	cfg.ComputeWorkersPerMachine = ecfg.ScatterProcs + ecfg.GatherProcs
+	if c.rt.netBW > 0 {
+		cfg.NetBandwidth = c.rt.netBW
+	}
+	if c.rt.netLatNs > 0 {
+		cfg.NetLatencyNs = c.rt.netLatNs
+	}
+	cfg.DevOpts = c.rt.devOpts
+	cfg.Engine = ecfg
+	return cluster.New(c.rt.ctx, cfg)
 }
 
 // QueryReport summarizes one query of a RunConcurrent session: its

@@ -119,6 +119,40 @@ func TestRuntimeOptionsApply(t *testing.T) {
 	}
 }
 
+// TestScaleoutPageRankPublicAPI: WithScaleout routes the built-in queries
+// onto the destination-partitioned cluster; the ranks must match the
+// single-machine run and the IO stats must cover every machine's array.
+func TestScaleoutPageRankPublicAPI(t *testing.T) {
+	p, _ := gen.PresetByShort("r2")
+	p = p.Scaled(30000)
+	run := func(opts ...blaze.Option) []float64 {
+		rt := blaze.New(append([]blaze.Option{
+			blaze.WithSimulatedTime(), blaze.WithComputeWorkers(4),
+		}, opts...)...)
+		var ranks []float64
+		rt.Run(func(c *blaze.Ctx) {
+			g, _ := c.GraphFromPreset(p)
+			var err error
+			ranks, _, err = c.PageRank(g, 1e-9, blaze.Convergence{MaxIters: 5})
+			if err != nil {
+				panic(err)
+			}
+		})
+		return ranks
+	}
+	serial := run()
+	scaled := run(blaze.WithScaleout(4), blaze.WithNetwork(100e9/8, 5_000))
+	if len(scaled) != len(serial) {
+		t.Fatalf("rank lengths differ: %d vs %d", len(scaled), len(serial))
+	}
+	for v := range serial {
+		d := scaled[v] - serial[v]
+		if d < -1e-6 || d > 1e-6 {
+			t.Fatalf("rank[%d] = %g on 4 machines, %g serial", v, scaled[v], serial[v])
+		}
+	}
+}
+
 func TestLoadGraphFromFiles(t *testing.T) {
 	// Round-trip through the on-disk format via the public API.
 	dir := t.TempDir()

@@ -12,6 +12,7 @@
 //	blaze-bench -snapshot-pagecache BENCH_pagecache.json  # cache ablation snapshot
 //	blaze-bench -snapshot-serving BENCH_serving.json      # serving latency-vs-load snapshot
 //	blaze-bench -snapshot-async BENCH_async.json          # barrier-free driver snapshot
+//	blaze-bench -snapshot-scaleout BENCH_scaleout.json    # machine-count sweep snapshot
 //	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
 //
@@ -62,6 +63,7 @@ func run() (code int) {
 	snapshotMQ := flag.String("snapshot-multiquery", "", "write a short-sim concurrent-session snapshot (aggregate throughput and coalesced reads at Q=1/2/4/8) to this JSON file and exit")
 	snapshotServe := flag.String("snapshot-serving", "", "write a short-sim serving snapshot (per-class p50/p99, goodput, reject rate across an arrival-rate sweep) to this JSON file and exit")
 	snapshotAsync := flag.String("snapshot-async", "", "write a short-sim async-driver snapshot (blaze vs blaze-async makespans on the high-diameter crawl) to this JSON file and exit")
+	snapshotScaleout := flag.String("snapshot-scaleout", "", "write a short-sim scale-out snapshot (blaze-scaleout makespan, network bytes, and per-machine IO at M=1/2/4) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -197,6 +199,25 @@ func run() (code int) {
 				e.Engine, e.Query, float64(e.MakespanNs)/1e6, float64(e.ReadBytes)/1e6)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotAsync)
+		return 0
+	}
+
+	if *snapshotScaleout != "" {
+		entries, err := bench.ScaleoutSnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-scaleout: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteScaleoutSnapshot(*snapshotScaleout, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-scaleout: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-5s M=%d makespan=%8.3fms read=%6.1fMB net=%6.2fMB msgs=%5d speedup=%.2fx\n",
+				e.Query, e.Machines, float64(e.MakespanNs)/1e6, float64(e.ReadBytes)/1e6,
+				float64(e.NetBytes)/1e6, e.NetMsgs, e.SpeedupVsM1)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotScaleout)
 		return 0
 	}
 

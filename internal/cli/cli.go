@@ -61,10 +61,15 @@ type Options struct {
 	Driver         string
 	ConvergeTol    float64
 	AsyncWavePages int
-	InIndex        string
-	InAdj          string
-	IndexPath      string
-	AdjPath        string
+	// Scale-out knobs (-engine blaze-scaleout): machine count, link
+	// bandwidth, and per-message latency of the modeled interconnect.
+	Machines int
+	NetBW    float64
+	NetLatNs int64
+	InIndex  string
+	InAdj    string
+	IndexPath string
+	AdjPath   string
 
 	// Trace writes a Chrome trace_event JSON timeline of the run to the
 	// given file (loadable in Perfetto / chrome://tracing); StageStats
@@ -136,6 +141,9 @@ func ParseFlags(tool string, needTranspose bool) *Options {
 	fs.StringVar(&o.Driver, "driver", "auto", "iteration driver: auto (the engine's preference), round (barrier rounds), async (barrier-free page waves)")
 	fs.Float64Var(&o.ConvergeTol, "converge-tol", 0, "stop when the driver's residual (pr: total unpropagated rank mass) falls to this tolerance (0 = off)")
 	fs.IntVar(&o.AsyncWavePages, "asyncWavePages", 0, "page-frontier cap per async wave (0 = default)")
+	fs.IntVar(&o.Machines, "machines", 1, "machine count for -engine blaze-scaleout (destination-partitioned workers, -devices SSDs each; other engines ignore it)")
+	fs.Float64Var(&o.NetBW, "netBW", 0, "scale-out link bandwidth per direction in bytes/s (0 = 25 Gb/s)")
+	fs.Int64Var(&o.NetLatNs, "netLatNs", 0, "scale-out per-message network latency in ns (0 = 10 µs)")
 	fs.IntVar(&o.PageCacheMB, "pageCache", 0, "page cache size in MB (0 = off, the paper's configuration); caches the blaze engines and overrides flashgraph's built-in budget")
 	fs.StringVar(&o.PageCachePolicy, "pageCachePolicy", "clock", "page-cache eviction policy: clock (sharded second chance) or lru (single-shard ablation baseline)")
 	fs.IntVar(&o.Concurrency, "concurrency", 1, "concurrent replicas of the query against one shared graph session (session-capable engines: "+strings.Join(registry.SessionNames(), ", ")+")")
@@ -268,7 +276,14 @@ func Setup(o *Options) (*Env, error) {
 	} else {
 		ctx = exec.NewReal()
 	}
-	stats := metrics.NewIOStats(o.Devices)
+	// blaze-scaleout builds Machines*Devices devices (machine m's array is
+	// device IDs m*Devices..m*Devices+Devices-1), so its stats must cover
+	// them all; the graph files themselves still stripe over Devices.
+	statDevs := o.Devices
+	if o.Engine == "blaze-scaleout" && o.Machines > 1 {
+		statDevs = o.Devices * o.Machines
+	}
+	stats := metrics.NewIOStats(statDevs)
 	devOpts := o.DeviceOptions()
 	out, err := engine.FromFiles(ctx, o.IndexPath, o.IndexPath, o.AdjPath, o.Devices, prof, stats, nil, devOpts...)
 	if err != nil {
@@ -329,6 +344,9 @@ func Setup(o *Options) (*Env, error) {
 		DevOpts:        devOpts,
 		Tracer:         env.Tracer,
 		AsyncWavePages: o.AsyncWavePages,
+		Machines:       o.Machines,
+		NetBandwidth:   o.NetBW,
+		NetLatencyNs:   o.NetLatNs,
 	}
 	env.driver = o.Driver
 	env.asyncWavePages = o.AsyncWavePages

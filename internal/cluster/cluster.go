@@ -4,20 +4,36 @@
 // its own FNDs. A machine then processes only the edges whose destinations
 // it owns, and — because bin ownership follows destinations — all value
 // propagation between scatter and gather procs stays machine-local; the
-// network is needed only between iterations, to broadcast updated source
+// network is needed only between iterations, to exchange updated vertex
 // values and the new frontier.
 //
 // The model: M machines, each with its own device array and compute procs,
 // all under one virtual-time context (machines genuinely overlap in
-// simulated time). After each EdgeMap, machine m broadcasts the updated
-// vertices it owns to the other M-1 machines over a modeled full-duplex
-// link (bandwidth + latency); the next iteration starts after the slowest
-// broadcast. The Cluster implements algo.System, so all five paper queries
-// run on it unchanged and are verified against the serial references.
+// simulated time). After each EdgeMap, machine m serializes the updated
+// vertices it owns — the FlashGraph-style sparse delta, 12 bytes per
+// (vertex, value) — and sends one copy to each of the other M-1 machines
+// over the msg.Net interconnect (full-duplex links, bandwidth + latency +
+// injectable faults charged in model time). Every machine decodes the M-1
+// peer messages it receives into its view of the global update set, and
+// the coordinator builds the next frontier from machine 0's local updates
+// merged with the deltas machine 0 decoded off the wire, so all but 1/M of
+// the frontier genuinely round-tripped through serialization. The Cluster
+// implements algo.System, so all five paper queries run on it unchanged
+// and are verified against the serial references.
+//
+// Failure semantics follow the PR 2 taxonomy: device faults drain the
+// failing machine's local engine and surface through EdgeMap's error;
+// link faults are retransmitted while transient and surface a permanent
+// *msg.LinkError otherwise. A machine that fails locally still sends an
+// abort notice to every peer (and a dead link substitutes a failure-
+// detector notice), so each machine always receives exactly M-1 messages
+// per exchange and every proc joins — no goroutine leaks, no hangs.
 package cluster
 
 import (
 	"fmt"
+	"io"
+	"math"
 
 	"blaze/algo"
 	"blaze/internal/engine"
@@ -25,6 +41,7 @@ import (
 	"blaze/internal/frontier"
 	"blaze/internal/graph"
 	"blaze/internal/metrics"
+	"blaze/internal/msg"
 	"blaze/internal/ssd"
 )
 
@@ -38,16 +55,20 @@ type Config struct {
 	// ComputeWorkersPerMachine is split equally between scatter and
 	// gather on each machine.
 	ComputeWorkersPerMachine int
-	// NetBandwidth is each machine's egress bandwidth in bytes/second
+	// NetBandwidth is each link direction's bandwidth in bytes/second
 	// (default 25 Gb/s) and NetLatencyNs the per-message latency.
 	NetBandwidth float64
 	NetLatencyNs int64
-	// BytesPerVertexUpdate is the wire size of one (vertex, value) update
-	// in the inter-iteration broadcast.
-	BytesPerVertexUpdate int64
+	// LinkFault injects deterministic link failures into the interconnect
+	// (zero value: none); see msg.LinkPolicy.
+	LinkFault msg.LinkPolicy
+	// DevOpts configures the per-machine devices the cluster builds
+	// (fault injection wraps each machine's backings independently; the
+	// dev argument is the global device ID m*DevicesPerMachine+d).
+	DevOpts []ssd.DeviceOptions
 	// Engine carries the per-machine engine configuration (binning, cost
-	// model, IO buffers). Stats should be sized to
-	// Machines*DevicesPerMachine devices.
+	// model, IO buffers). Stats must be sized to at least
+	// Machines*DevicesPerMachine devices (EdgeMap errors otherwise).
 	Engine engine.Config
 }
 
@@ -61,7 +82,6 @@ func DefaultConfig(machines int, e int64) Config {
 		ComputeWorkersPerMachine: 16,
 		NetBandwidth:             25e9 / 8,
 		NetLatencyNs:             10_000,
-		BytesPerVertexUpdate:     16,
 		Engine:                   engine.DefaultConfig(e),
 	}
 }
@@ -73,8 +93,9 @@ type Cluster struct {
 	algo.IterLog
 
 	parts map[*graph.CSR][]*engine.Graph // full graph -> per-machine partitions
-	links []exec.Resource                // per-machine egress links
+	net   *msg.Net
 	stats *metrics.IOStats
+	vals  []float64 // gathered values, indexed by vertex (owners disjoint)
 }
 
 // New builds a cluster under ctx.
@@ -85,22 +106,27 @@ func New(ctx exec.Context, cfg Config) *Cluster {
 	if cfg.ComputeWorkersPerMachine < 2 {
 		cfg.ComputeWorkersPerMachine = 2
 	}
-	cl := &Cluster{
+	return &Cluster{
 		Ctx:     ctx,
 		Cfg:     cfg,
 		IterLog: algo.IterLog{Stats: cfg.Engine.Stats},
 		parts:   map[*graph.CSR][]*engine.Graph{},
 		stats:   cfg.Engine.Stats,
+		net: msg.New(ctx, msg.Config{
+			Machines:  cfg.Machines,
+			Bandwidth: cfg.NetBandwidth,
+			LatencyNs: cfg.NetLatencyNs,
+			Fault:     cfg.LinkFault,
+		}),
 	}
-	cl.links = make([]exec.Resource, cfg.Machines)
-	for m := range cl.links {
-		cl.links[m] = ctx.NewResource(fmt.Sprintf("net%d", m))
-	}
-	return cl
 }
 
 // Name implements algo.System.
 func (cl *Cluster) Name() string { return fmt.Sprintf("blaze-scaleout-%dx", cl.Cfg.Machines) }
+
+// NetStats snapshots the interconnect counters (delivered messages and
+// wire bytes, retransmissions, link failures).
+func (cl *Cluster) NetStats() msg.NetStats { return cl.net.Stats() }
 
 // owner returns the machine owning vertex v's data. Ownership hashes the
 // vertex ID: neither range nor plain modular partitioning balances edges
@@ -120,15 +146,19 @@ func (cl *Cluster) owner(v, n uint32) int {
 // partitionsFor lazily builds the destination partitions of one graph.
 // Machine m's partition keeps every edge (s,d) with owner(d) == m over the
 // full vertex ID space, placed on m's own device array.
-func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
+func (cl *Cluster) partitionsFor(g *engine.Graph) ([]*engine.Graph, error) {
 	if ps, ok := cl.parts[g.CSR]; ok {
-		return ps
+		return ps, nil
 	}
 	c := g.CSR
 	if c.Adj == nil {
-		panic("cluster: graph must have in-memory adjacency to partition")
+		return nil, fmt.Errorf("cluster: graph %q has no in-memory adjacency to partition (load it with ReadAdj)", g.Name)
 	}
 	M := cl.Cfg.Machines
+	if cl.stats != nil && cl.stats.NumDevices() < M*cl.Cfg.DevicesPerMachine {
+		return nil, fmt.Errorf("cluster: IOStats sized for %d devices, need %d (machines x devices)",
+			cl.stats.NumDevices(), M*cl.Cfg.DevicesPerMachine)
+	}
 	srcs := make([][]uint32, M)
 	dsts := make([][]uint32, M)
 	for v := uint32(0); v < c.V; v++ {
@@ -140,6 +170,7 @@ func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
 			dsts[m] = append(dsts[m], d)
 		}
 	}
+	opts := ssd.MergeDeviceOptions(cl.Cfg.DevOpts)
 	ps := make([]*engine.Graph, M)
 	for m := 0; m < M; m++ {
 		sub := graph.Build(c.V, srcs[m], dsts[m])
@@ -152,7 +183,7 @@ func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
 			} else {
 				backing = &ssd.StripeView{Src: byteReaderAt(sub.Adj), SrcSize: int64(len(sub.Adj)), Dev: d, NumDev: cl.Cfg.DevicesPerMachine}
 			}
-			devs[d] = ssd.NewDevice(cl.Ctx, id, cl.Cfg.Profile, backing, cl.stats, nil)
+			devs[d] = opts.Build(cl.Ctx, id, cl.Cfg.Profile, backing, cl.stats, nil)
 		}
 		ps[m] = &engine.Graph{
 			Name:     fmt.Sprintf("%s@m%d", g.Name, m),
@@ -163,71 +194,185 @@ func (cl *Cluster) partitionsFor(g *engine.Graph) []*engine.Graph {
 		}
 	}
 	cl.parts[g.CSR] = ps
-	return ps
+	return ps, nil
+}
+
+// exchangeResult is one machine's end-of-round state: its local output
+// frontier, the peer updates it decoded off the wire, and any failure.
+type exchangeResult struct {
+	out     *frontier.VertexSubset // local engine output (owned vertices)
+	recv    *frontier.VertexSubset // peer updates decoded from messages
+	err     error                  // local engine or link failure
+	aborted bool                   // a peer reported failure this round
+}
+
+// exchange runs one machine's side of the all-to-all delta exchange: one
+// sparse-delta message to each of the M-1 peers (or an abort notice when
+// the local engine failed), then exactly M-1 receives, decoding peer
+// deltas into r.recv. Encoding and decoding charge one VertexOp per update
+// in model time. The message-per-peer invariant — every failure path in
+// msg.Net substitutes a notice — is what guarantees the receive loop
+// always completes.
+func (cl *Cluster) exchange(mp exec.Proc, machine int, v uint32, r *exchangeResult) {
+	M := cl.Cfg.Machines
+	var payload []byte
+	if r.err == nil {
+		r.out.Seal()
+		payload = make([]byte, 0, r.out.Count()*msg.DeltaBytes)
+		r.out.ForEach(func(u uint32) {
+			payload = msg.AppendDelta(payload, u, cl.vals[u])
+		})
+		mp.Advance(cl.Cfg.Engine.Model.VertexOp * r.out.Count())
+	}
+	for k := 0; k < M; k++ {
+		if k == machine {
+			continue
+		}
+		var sendErr error
+		if r.err != nil {
+			sendErr = cl.net.Send(mp, machine, k, msg.TypeAbort, []byte(r.err.Error()))
+		} else {
+			sendErr = cl.net.Send(mp, machine, k, msg.TypeDeltas, payload)
+		}
+		if sendErr != nil && r.err == nil {
+			r.err = fmt.Errorf("cluster: machine %d sending to %d: %w", machine, k, sendErr)
+		}
+	}
+	r.recv = frontier.NewVertexSubset(v)
+	for i := 0; i < M-1; i++ {
+		m, ok := cl.net.Recv(mp, machine)
+		if !ok {
+			if r.err == nil {
+				r.err = fmt.Errorf("cluster: machine %d: interconnect closed mid-round", machine)
+			}
+			return
+		}
+		switch m.Type {
+		case msg.TypeDeltas:
+			mp.Advance(cl.Cfg.Engine.Model.VertexOp * int64(msg.DeltaCount(m.Payload)))
+			// Decoded values are checked against the owner's gathered value
+			// rather than written back: every machine decodes the same
+			// message, so writing would race, and the bit-compare doubles
+			// as an end-to-end payload integrity check.
+			if err := msg.DecodeDeltas(m.Payload, func(u uint32, val float64) {
+				r.recv.Add(u)
+				if r.err == nil && math.Float64bits(cl.vals[u]) != math.Float64bits(val) {
+					r.err = fmt.Errorf("cluster: machine %d: delta for vertex %d from machine %d does not match owner value", machine, u, m.From)
+				}
+			}); err != nil && r.err == nil {
+				r.err = fmt.Errorf("cluster: machine %d from %d: %w", machine, m.From, err)
+			}
+		case msg.TypeAbort, msg.TypeLinkDown:
+			r.aborted = true
+		}
+	}
+	r.recv.Seal()
 }
 
 // EdgeMap implements algo.System: every machine runs the local engine over
-// its destination partition concurrently; the output frontiers (disjoint by
-// ownership) are merged, and each machine's updated vertices are broadcast
-// over its link before the call returns.
+// its destination partition concurrently; when the round produces a
+// frontier, each machine serializes its owned updates as one sparse-delta
+// message per peer, decodes the M-1 messages it receives, and the
+// coordinator merges machine 0's local updates with the deltas machine 0
+// decoded off the wire into the next frontier.
 func (cl *Cluster) EdgeMap(p exec.Proc, g *engine.Graph, f *frontier.VertexSubset,
 	fns algo.EdgeFuncs, output bool) (*frontier.VertexSubset, error) {
 
-	parts := cl.partitionsFor(g)
+	parts, err := cl.partitionsFor(g)
+	if err != nil {
+		return nil, err
+	}
 	M := cl.Cfg.Machines
 	f.Seal()
 
 	cfg := cl.Cfg.Engine
 	cfg = cfg.WithThreads(cl.Cfg.ComputeWorkersPerMachine, 0.5)
 
+	// The exchanged delta is (vertex, gathered value): capture each
+	// accepted gather's value so it can be serialized. Owners are disjoint
+	// and the engine runs at most one concurrent gather per destination,
+	// so the shared array is race-free.
+	gather := fns.Gather
+	if output && M > 1 {
+		if int64(len(cl.vals)) < int64(g.CSR.V) {
+			cl.vals = make([]float64, g.CSR.V)
+		}
+		vals := cl.vals
+		gather = func(d uint32, v float64) bool {
+			if fns.Gather(d, v) {
+				vals[d] = v
+				return true
+			}
+			return false
+		}
+	}
+
 	// Machines fail independently; each machine's local engine drains its
-	// own pipeline, so every machine proc always joins. The first failure
-	// (by machine index) is the one reported.
-	outs := make([]*frontier.VertexSubset, M)
-	errs := make([]error, M)
+	// own pipeline and the exchange always completes (see exchange), so
+	// every machine proc joins. The first failure (by machine index) is
+	// the one reported.
+	res := make([]exchangeResult, M)
 	wg := cl.Ctx.NewWaitGroup()
 	wg.Add(M)
 	for m := 0; m < M; m++ {
 		machine := m
 		cl.Ctx.Go(fmt.Sprintf("machine%d", machine), func(mp exec.Proc) {
 			out, _, err := engine.EdgeMap(cl.Ctx, mp, parts[machine], f,
-				fns.Scatter, fns.Gather, fns.Cond, output, cfg)
+				fns.Scatter, gather, fns.Cond, output, cfg)
+			r := &res[machine]
+			r.out = out
 			if err != nil {
-				errs[machine] = fmt.Errorf("cluster: machine %d: %w", machine, err)
+				r.err = fmt.Errorf("cluster: machine %d: %w", machine, err)
 			}
-			outs[machine] = out
-			if output && out != nil && err == nil {
-				// Broadcast this machine's updated vertices to the other
-				// M-1 machines.
-				bytes := out.Count() * cl.Cfg.BytesPerVertexUpdate * int64(M-1)
-				if bytes > 0 {
-					busy := cl.Cfg.NetLatencyNs + int64(float64(bytes)/cl.Cfg.NetBandwidth*1e9)
-					cl.links[machine].Acquire(mp, busy)
-				}
+			if output && M > 1 {
+				cl.exchange(mp, machine, g.CSR.V, r)
 			}
 			wg.Done(mp)
 		})
 	}
 	wg.Wait(p)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var sawAbort bool
+	for m := range res {
+		if res[m].err != nil {
+			return nil, res[m].err
 		}
+		sawAbort = sawAbort || res[m].aborted
+	}
+	if sawAbort {
+		// A peer signaled failure but no machine recorded one — the abort
+		// sender must have errored, so this is unreachable unless the
+		// protocol broke.
+		return nil, fmt.Errorf("cluster: abort notice received with no failing machine")
 	}
 	if !output {
 		return nil, nil
 	}
 	merged := frontier.NewVertexSubset(g.CSR.V)
-	for _, o := range outs {
-		merged.Merge(o)
+	merged.Merge(res[0].out)
+	if M > 1 {
+		// The coordinator is colocated with machine 0: its own updates are
+		// local, every other machine's arrive as decoded wire deltas.
+		merged.Merge(res[0].recv)
+		merged.Seal()
+		// Every machine must have assembled the same global update set
+		// (its own plus M-1 decoded messages); ownership makes the parts
+		// disjoint, so counts add. A mismatch means the exchange lost or
+		// duplicated a delta.
+		want := merged.Count()
+		for m := range res {
+			if got := res[m].out.Count() + res[m].recv.Count(); got != want {
+				return nil, fmt.Errorf("cluster: machine %d assembled %d updates, coordinator %d", m, got, want)
+			}
+		}
+	} else {
+		merged.Seal()
 	}
-	merged.Seal()
 	return merged, nil
 }
 
 // VertexMap implements algo.System: vertex data is sharded by owner, so
-// machines apply fn to their shards in parallel; updated vertices are
-// broadcast like EdgeMap outputs.
+// machines apply fn to their shards in parallel; the phase ends when the
+// busiest machine finishes.
 func (cl *Cluster) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint32) bool) *frontier.VertexSubset {
 	f.Seal()
 	out := frontier.NewVertexSubset(f.N())
@@ -238,7 +383,6 @@ func (cl *Cluster) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint
 			out.Add(v)
 		}
 	})
-	// The phase ends when the busiest machine finishes its shard.
 	var maxShare int64
 	for _, n := range perOwner {
 		if n > maxShare {
@@ -250,13 +394,21 @@ func (cl *Cluster) VertexMap(p exec.Proc, f *frontier.VertexSubset, fn func(uint
 	return out
 }
 
-// byteReaderAt adapts a byte slice for StripeView.
+// byteReaderAt adapts a byte slice for StripeView, honoring the io.ReaderAt
+// contract: a read ending at or past the end returns io.EOF with however
+// many bytes were available.
 type byteReaderAt []byte
 
 func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("cluster: negative read offset %d", off)
+	}
 	if off >= int64(len(b)) {
-		return 0, fmt.Errorf("cluster: read past end")
+		return 0, io.EOF
 	}
 	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
 	return n, nil
 }

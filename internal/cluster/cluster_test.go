@@ -13,11 +13,14 @@ import (
 	"blaze/internal/ssd"
 )
 
-func setup(ctx exec.Context, machines int, seed uint64) (*cluster.Cluster, *engine.Graph, *engine.Graph) {
+func setup(ctx exec.Context, machines int, seed uint64, mut ...func(*cluster.Config)) (*cluster.Cluster, *engine.Graph, *engine.Graph) {
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: seed, V: 2048, E: 30000, Locality: 0.1}
 	out, in := engine.BuildPreset(ctx, p, 1, ssd.OptaneSSD, nil, nil)
 	cfg := cluster.DefaultConfig(machines, out.NumEdges())
 	cfg.ComputeWorkersPerMachine = 4
+	for _, m := range mut {
+		m(&cfg)
+	}
 	return cluster.New(ctx, cfg), out, in
 }
 
@@ -117,8 +120,7 @@ func TestClusterScalesAggregateIO(t *testing.T) {
 func TestClusterNetworkBound(t *testing.T) {
 	run := func(bw float64) int64 {
 		ctx := exec.NewSim()
-		cl, g, _ := setup(ctx, 4, 46)
-		cl.Cfg.NetBandwidth = bw
+		cl, g, _ := setup(ctx, 4, 46, func(c *cluster.Config) { c.NetBandwidth = bw })
 		ctx.Run("main", func(p exec.Proc) {
 			algo.BFS(cl, p, g, 0)
 		})

@@ -1,0 +1,234 @@
+package cluster_test
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"blaze/algo"
+	"blaze/internal/cluster"
+	"blaze/internal/engine"
+	"blaze/internal/exec"
+	"blaze/internal/fault"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/msg"
+	"blaze/internal/ssd"
+)
+
+// TestClusterNoAdjacencyError: partitioning needs the in-memory adjacency;
+// a graph loaded without it must surface an error through EdgeMap, not
+// panic (the PR 2 panic-free contract). This is the regression test for
+// the partitionsFor panic.
+func TestClusterNoAdjacencyError(t *testing.T) {
+	ctx := exec.NewSim()
+	c := graph.Build(16, []uint32{0, 1, 2}, []uint32{1, 2, 3})
+	c.Adj = nil // index-only graph, as a file loader without ReadAdj leaves it
+	g := &engine.Graph{Name: "noadj", CSR: c}
+	cl := cluster.New(ctx, cluster.DefaultConfig(2, c.E))
+	var err error
+	ctx.Run("main", func(p exec.Proc) {
+		fns := algo.EdgeFuncs{
+			Scatter: func(s, d uint32) float64 { return 0 },
+			Gather:  func(d uint32, v float64) bool { return false },
+			Cond:    func(d uint32) bool { return true },
+		}
+		_, err = cl.EdgeMap(p, g, frontier.All(c.V), fns, true)
+	})
+	if err == nil || !strings.Contains(err.Error(), "adjacency") {
+		t.Fatalf("EdgeMap = %v, want adjacency error", err)
+	}
+}
+
+// TestClusterStatsSizedError: an IOStats sized below machines x devices
+// would panic inside the device layer on the first read; the cluster must
+// reject it up front through EdgeMap's error instead.
+func TestClusterStatsSizedError(t *testing.T) {
+	ctx := exec.NewSim()
+	cl, g, _ := setup(ctx, 4, 47, func(c *cluster.Config) {
+		c.Engine.Stats = metrics.NewIOStats(2) // 4 machines x 1 device need 4
+	})
+	var err error
+	ctx.Run("main", func(p exec.Proc) {
+		_, err = algo.BFS(cl, p, g, 0)
+	})
+	if err == nil || !strings.Contains(err.Error(), "IOStats") {
+		t.Fatalf("BFS = %v, want stats sizing error", err)
+	}
+}
+
+// machineFaultOpts wraps only the devices of one machine with the fault
+// policy, so the other machines' arrays stay healthy.
+func machineFaultOpts(p fault.Policy, machine, devsPerMachine int) ssd.DeviceOptions {
+	return ssd.DeviceOptions{
+		WrapBacking: func(dev int, b ssd.Backing) ssd.Backing {
+			if dev/devsPerMachine != machine {
+				return b
+			}
+			return fault.New(p, dev, b)
+		},
+	}
+}
+
+// awaitGoroutines polls until the goroutine count returns to the baseline,
+// proving every machine proc and pipeline stage joined.
+func awaitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, now)
+	}
+}
+
+// TestClusterDeviceFaultOneMachine: a permanent device fault on one
+// machine's array must error cleanly — the failing machine's engine drains,
+// every machine proc joins (no goroutine leak on the real backend), the
+// *fault.Error stays in the chain, and the healthy machines' abort notices
+// keep the exchange from hanging.
+func TestClusterDeviceFaultOneMachine(t *testing.T) {
+	backends := []struct {
+		name string
+		mk   func() exec.Context
+	}{
+		{"sim", func() exec.Context { return exec.NewSim() }},
+		{"real", func() exec.Context { return exec.NewReal() }},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx := be.mk()
+			cl, g, _ := setup(ctx, 2, 48, func(c *cluster.Config) {
+				c.DevOpts = []ssd.DeviceOptions{
+					machineFaultOpts(fault.Policy{Seed: 7, PermanentRate: 1}, 1, c.DevicesPerMachine),
+				}
+			})
+			var err error
+			ctx.Run("main", func(p exec.Proc) {
+				_, err = algo.BFS(cl, p, g, 0)
+			})
+			if err == nil {
+				t.Fatal("BFS on a dead machine-1 array must fail")
+			}
+			var fe *fault.Error
+			if !errors.As(err, &fe) || fe.Kind != fault.Permanent {
+				t.Errorf("error chain %v lost the *fault.Error", err)
+			}
+			if !strings.Contains(err.Error(), "machine 1") {
+				t.Errorf("error %v does not name the failing machine", err)
+			}
+			awaitGoroutines(t, before)
+		})
+	}
+}
+
+// TestClusterDeviceTransientFaultRecovers: transient faults on one
+// machine's array are absorbed by the device retry policy; results stay
+// exact against the serial reference.
+func TestClusterDeviceTransientFaultRecovers(t *testing.T) {
+	ctx := exec.NewSim()
+	cl, g, _ := setup(ctx, 4, 49, func(c *cluster.Config) {
+		c.DevOpts = []ssd.DeviceOptions{
+			machineFaultOpts(fault.Policy{Seed: 11, TransientRate: 0.3}, 2, c.DevicesPerMachine),
+		}
+	})
+	var parent []int64
+	ctx.Run("main", func(p exec.Proc) {
+		parent = algo.Must(algo.BFS(cl, p, g, 0))
+	})
+	depth := algo.RefBFSDepth(g.CSR, 0)
+	if v, ok := algo.CheckParents(g.CSR, 0, parent, depth); !ok {
+		t.Errorf("invalid parent for vertex %d under transient device faults", v)
+	}
+}
+
+// TestClusterLinkDropRetransmits: dropped delta messages are transient —
+// the sender retransmits, the run completes with exact results, and the
+// retransmissions show up in the interconnect counters.
+func TestClusterLinkDropRetransmits(t *testing.T) {
+	ctx := exec.NewSim()
+	cl, g, _ := setup(ctx, 4, 50, func(c *cluster.Config) {
+		c.LinkFault = msg.LinkPolicy{Seed: 13, DropRate: 0.3}
+	})
+	var parent []int64
+	ctx.Run("main", func(p exec.Proc) {
+		parent = algo.Must(algo.BFS(cl, p, g, 0))
+	})
+	depth := algo.RefBFSDepth(g.CSR, 0)
+	if v, ok := algo.CheckParents(g.CSR, 0, parent, depth); !ok {
+		t.Errorf("invalid parent for vertex %d under link drops", v)
+	}
+	st := cl.NetStats()
+	if st.Retransmits == 0 {
+		t.Error("30% drop rate produced no retransmissions")
+	}
+	if st.LinkFailures != 0 {
+		t.Errorf("transient drops must not surface link failures, got %d", st.LinkFailures)
+	}
+}
+
+// TestClusterDeadLinkFailsCleanly: a dead link is a permanent fault — the
+// query errors with a non-transient *msg.LinkError, nothing hangs, and
+// every proc joins on the real backend.
+func TestClusterDeadLinkFailsCleanly(t *testing.T) {
+	backends := []struct {
+		name string
+		mk   func() exec.Context
+	}{
+		{"sim", func() exec.Context { return exec.NewSim() }},
+		{"real", func() exec.Context { return exec.NewReal() }},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx := be.mk()
+			cl, g, _ := setup(ctx, 2, 51, func(c *cluster.Config) {
+				c.LinkFault = msg.LinkPolicy{Seed: 17, DeadRate: 1}
+			})
+			var err error
+			ctx.Run("main", func(p exec.Proc) {
+				_, err = algo.BFS(cl, p, g, 0)
+			})
+			var le *msg.LinkError
+			if !errors.As(err, &le) {
+				t.Fatalf("error chain %v lost the *msg.LinkError", err)
+			}
+			if le.Transient() {
+				t.Error("dead link must not be transient")
+			}
+			awaitGoroutines(t, before)
+		})
+	}
+}
+
+// TestClusterExchangesRealBytes: the interconnect must carry the actual
+// sparse deltas — M*(M-1) messages per output round and 12 bytes per
+// exchanged update plus headers, not a synthetic time charge.
+func TestClusterExchangesRealBytes(t *testing.T) {
+	ctx := exec.NewSim()
+	cl, g, _ := setup(ctx, 4, 52)
+	ctx.Run("main", func(p exec.Proc) {
+		algo.Must(algo.BFS(cl, p, g, 0))
+	})
+	st := cl.NetStats()
+	if st.Messages == 0 || st.Bytes == 0 {
+		t.Fatalf("BFS moved no network traffic: %+v", st)
+	}
+	if st.Messages%int64(4*3) != 0 {
+		t.Errorf("messages = %d, want a multiple of M*(M-1) = 12", st.Messages)
+	}
+	// Headers for every message plus whole 12-byte deltas: wire bytes
+	// minus headers must divide evenly into updates.
+	payload := st.Bytes - st.Messages*msg.HeaderBytes
+	if payload <= 0 || payload%msg.DeltaBytes != 0 {
+		t.Errorf("payload bytes %d not whole %d-byte deltas", payload, msg.DeltaBytes)
+	}
+}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"io"
 	"testing"
 
+	"blaze/gen"
 	"blaze/internal/exec"
 )
 
@@ -34,6 +36,69 @@ func TestHashOwnershipBalances(t *testing.T) {
 		if share < 0.08 || share > 0.18 {
 			t.Errorf("machine %d share %.3f outside [0.08,0.18]", m, share)
 		}
+	}
+}
+
+// TestOwnerEdgeBalanceProperty: the property the package comment claims —
+// across generated graph families (R-MAT's self-similar in-degree skew and
+// the uniform control) and machine counts, hashed destination ownership
+// keeps the busiest machine's edge share within 1.25x of the mean, so no
+// machine becomes the cluster's straggler by construction.
+func TestOwnerEdgeBalanceProperty(t *testing.T) {
+	presets := []gen.Preset{
+		{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 101, V: 1 << 14, E: 200_000, Locality: 0.1},
+		{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: 202, V: 1 << 13, E: 120_000, Locality: 0.1},
+		{Kind: gen.KindUniform, Seed: 303, V: 1 << 14, E: 200_000},
+		{Kind: gen.KindUniform, Seed: 404, V: 1 << 12, E: 80_000},
+	}
+	for _, pr := range presets {
+		_, dst := pr.Generate()
+		for _, machines := range []int{2, 4, 8} {
+			ctx := exec.NewSim()
+			cl := New(ctx, DefaultConfig(machines, int64(len(dst))))
+			share := make([]int64, machines)
+			for _, d := range dst {
+				share[cl.owner(d, pr.V)]++
+			}
+			var max int64
+			for _, s := range share {
+				if s > max {
+					max = s
+				}
+			}
+			mean := float64(len(dst)) / float64(machines)
+			if ratio := float64(max) / mean; ratio >= 1.25 {
+				t.Errorf("%v seed %d, M=%d: max/mean edge share %.3f >= 1.25 (shares %v)",
+					pr.Kind, pr.Seed, machines, ratio, share)
+			}
+		}
+	}
+}
+
+// TestByteReaderAtContract: the io.ReaderAt contract requires n < len(p)
+// to come with a non-nil error; the tail read used to return a short count
+// with a nil error, silently truncating the last stripe page.
+func TestByteReaderAtContract(t *testing.T) {
+	b := byteReaderAt(make([]byte, 10))
+	for i := range b {
+		b[i] = byte(i)
+	}
+	buf := make([]byte, 8)
+	if n, err := b.ReadAt(buf, 0); n != 8 || err != nil {
+		t.Errorf("full read: n=%d err=%v, want 8, nil", n, err)
+	}
+	// Tail read: only 2 of 8 bytes exist — the short count must be
+	// reported as io.EOF, not silence.
+	if n, err := b.ReadAt(buf, 8); n != 2 || err != io.EOF {
+		t.Errorf("tail read: n=%d err=%v, want 2, io.EOF", n, err)
+	} else if buf[0] != 8 || buf[1] != 9 {
+		t.Errorf("tail read bytes = %v", buf[:2])
+	}
+	if n, err := b.ReadAt(buf, 10); n != 0 || err != io.EOF {
+		t.Errorf("past-end read: n=%d err=%v, want 0, io.EOF", n, err)
+	}
+	if _, err := b.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset must error")
 	}
 }
 

@@ -1,0 +1,243 @@
+package msg
+
+import (
+	"errors"
+	"testing"
+
+	"blaze/internal/exec"
+)
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	var buf []byte
+	want := []struct {
+		v   uint32
+		val float64
+	}{{0, 0}, {7, -1.5}, {1 << 30, 3.25e17}, {42, 0.1}}
+	for _, w := range want {
+		buf = AppendDelta(buf, w.v, w.val)
+	}
+	if got := DeltaCount(buf); got != len(want) {
+		t.Fatalf("DeltaCount = %d, want %d", got, len(want))
+	}
+	i := 0
+	err := DecodeDeltas(buf, func(v uint32, val float64) {
+		if v != want[i].v || val != want[i].val {
+			t.Errorf("delta %d = (%d, %g), want (%d, %g)", i, v, val, want[i].v, want[i].val)
+		}
+		i++
+	})
+	if err != nil || i != len(want) {
+		t.Fatalf("decode: err=%v decoded=%d", err, i)
+	}
+	if err := DecodeDeltas(buf[:5], func(uint32, float64) {}); err == nil {
+		t.Error("truncated payload must be a framing error")
+	}
+}
+
+// deliver runs one send/recv pair under Sim and returns the message plus
+// makespan and stats.
+func deliver(t *testing.T, cfg Config, payload []byte) (Message, int64, NetStats) {
+	t.Helper()
+	cfg.Machines = 2
+	ctx := exec.NewSim()
+	n := New(ctx, cfg)
+	var got Message
+	ctx.Run("main", func(p exec.Proc) {
+		done := ctx.NewWaitGroup()
+		done.Add(2)
+		ctx.Go("tx", func(sp exec.Proc) {
+			if err := n.Send(sp, 0, 1, TypeDeltas, payload); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			done.Done(sp)
+		})
+		ctx.Go("rx", func(rp exec.Proc) {
+			m, ok := n.Recv(rp, 1)
+			if !ok {
+				t.Error("recv: closed")
+			}
+			got = m
+			done.Done(rp)
+		})
+		done.Wait(p)
+	})
+	return got, ctx.End, n.Stats()
+}
+
+func TestSendChargesBandwidthAndLatency(t *testing.T) {
+	payload := make([]byte, 120_000)
+	cfg := Config{Bandwidth: 1e9, LatencyNs: 5_000}
+	m, end, st := deliver(t, cfg, payload)
+	if m.Type != TypeDeltas || m.From != 0 || len(m.Payload) != len(payload) {
+		t.Fatalf("bad message: %+v", m)
+	}
+	wire := int64(len(payload)) + HeaderBytes
+	// transfer = wire/1e9 s ≈ 120µs; arrival = transfer + latency.
+	min := int64(float64(wire)/cfg.Bandwidth*1e9) + cfg.LatencyNs
+	if end < min {
+		t.Errorf("makespan %d ns below transfer+latency %d ns", end, min)
+	}
+	if end > 2*min {
+		t.Errorf("makespan %d ns more than double transfer+latency %d ns (double-charged?)", end, min)
+	}
+	if st.Messages != 1 || st.Bytes != wire || st.Retransmits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestIncastSerializes: two senders to one receiver must serialize on its
+// ingress, so the makespan is about twice one transfer, not one.
+func TestIncastSerializes(t *testing.T) {
+	run := func(senders int) int64 {
+		ctx := exec.NewSim()
+		n := New(ctx, Config{Machines: 4, Bandwidth: 1e9, LatencyNs: 1_000})
+		payload := make([]byte, 1_000_000)
+		ctx.Run("main", func(p exec.Proc) {
+			done := ctx.NewWaitGroup()
+			done.Add(senders + 1)
+			for s := 1; s <= senders; s++ {
+				from := s
+				ctx.Go("tx", func(sp exec.Proc) {
+					if err := n.Send(sp, from, 0, TypeDeltas, payload); err != nil {
+						t.Errorf("send: %v", err)
+					}
+					done.Done(sp)
+				})
+			}
+			ctx.Go("rx", func(rp exec.Proc) {
+				for i := 0; i < senders; i++ {
+					if _, ok := n.Recv(rp, 0); !ok {
+						t.Error("recv: closed")
+					}
+				}
+				done.Done(rp)
+			})
+			done.Wait(p)
+		})
+		return ctx.End
+	}
+	t1, t2 := run(1), run(2)
+	if float64(t2) < 1.8*float64(t1) {
+		t.Errorf("incast of 2 (%d ns) not ~2x one transfer (%d ns)", t2, t1)
+	}
+}
+
+func TestDroppedTransmissionRetransmits(t *testing.T) {
+	clean := Config{Bandwidth: 1e9, LatencyNs: 5_000}
+	faulty := clean
+	faulty.Fault = LinkPolicy{Seed: 9, DropRate: 1, DropsPerMessage: 1}
+	payload := make([]byte, 50_000)
+	m, endClean, _ := deliver(t, clean, payload)
+	m2, endFaulty, st := deliver(t, faulty, payload)
+	if string(m.Payload) != string(m2.Payload) {
+		t.Error("retransmitted payload differs")
+	}
+	if st.Retransmits != 1 || st.RetransBytes != int64(len(payload))+HeaderBytes {
+		t.Errorf("stats = %+v, want 1 retransmit", st)
+	}
+	if endFaulty <= endClean {
+		t.Errorf("retransmission (%d ns) not slower than clean (%d ns)", endFaulty, endClean)
+	}
+}
+
+func TestExhaustedRetransmitsSurfaceTransientError(t *testing.T) {
+	ctx := exec.NewSim()
+	n := New(ctx, Config{Machines: 2, Fault: LinkPolicy{
+		Seed: 9, DropRate: 1, DropsPerMessage: 100, MaxRetransmits: 2,
+	}})
+	ctx.Run("main", func(p exec.Proc) {
+		err := n.Send(p, 0, 1, TypeDeltas, []byte{1, 2, 3})
+		var le *LinkError
+		if !errors.As(err, &le) || !le.Transient() {
+			t.Fatalf("err = %v, want transient *LinkError", err)
+		}
+		// The failure detector must have delivered a notice so the peer's
+		// collective completes.
+		m, ok := n.Recv(p, 1)
+		if !ok || m.Type != TypeLinkDown || m.From != 0 {
+			t.Fatalf("notice = %+v ok=%v, want LinkDown from 0", m, ok)
+		}
+	})
+	if st := n.Stats(); st.Retransmits != 3 || st.LinkFailures != 1 {
+		t.Errorf("stats = %+v, want 3 retransmits, 1 failure", n.Stats())
+	}
+}
+
+func TestDeadLinkFailsCleanly(t *testing.T) {
+	ctx := exec.NewSim()
+	n := New(ctx, Config{Machines: 2, Fault: LinkPolicy{Seed: 3, DeadRate: 1}})
+	ctx.Run("main", func(p exec.Proc) {
+		err := n.Send(p, 0, 1, TypeDeltas, []byte{1})
+		var le *LinkError
+		if !errors.As(err, &le) || le.Transient() || le.Kind != LinkDead {
+			t.Fatalf("err = %v, want permanent *LinkError", err)
+		}
+		if m, ok := n.Recv(p, 1); !ok || m.Type != TypeLinkDown {
+			t.Fatalf("notice = %+v ok=%v", m, ok)
+		}
+	})
+	if st := n.Stats(); st.Messages != 0 || st.LinkFailures != 1 {
+		t.Errorf("stats = %+v, want no delivery, 1 failure", n.Stats())
+	}
+}
+
+// TestSameSeedDeterministic: two identical sim runs must agree on makespan
+// and every counter, fault legs included.
+func TestSameSeedDeterministic(t *testing.T) {
+	cfg := Config{Bandwidth: 2e8, LatencyNs: 7_000,
+		Fault: LinkPolicy{Seed: 11, DropRate: 0.5}}
+	payload := make([]byte, 33_000)
+	_, end1, st1 := deliver(t, cfg, payload)
+	_, end2, st2 := deliver(t, cfg, payload)
+	if end1 != end2 {
+		t.Errorf("makespan differs: %d vs %d", end1, end2)
+	}
+	if st1 != st2 {
+		t.Errorf("stats differ: %+v vs %+v", st1, st2)
+	}
+}
+
+// TestRealBackendExchange: an all-to-all exchange on the real backend —
+// the genuinely concurrent path the race detector watches.
+func TestRealBackendExchange(t *testing.T) {
+	const M = 4
+	ctx := exec.NewReal()
+	n := New(ctx, Config{Machines: M, Bandwidth: 1e12, LatencyNs: 10})
+	got := make([]int, M)
+	ctx.Run("main", func(p exec.Proc) {
+		done := ctx.NewWaitGroup()
+		done.Add(M)
+		for m := 0; m < M; m++ {
+			machine := m
+			ctx.Go("machine", func(mp exec.Proc) {
+				payload := AppendDelta(nil, uint32(machine), float64(machine))
+				for k := 0; k < M; k++ {
+					if k == machine {
+						continue
+					}
+					if err := n.Send(mp, machine, k, TypeDeltas, payload); err != nil {
+						t.Errorf("send %d->%d: %v", machine, k, err)
+					}
+				}
+				for i := 0; i < M-1; i++ {
+					m, ok := n.Recv(mp, machine)
+					if !ok {
+						t.Errorf("machine %d: inbox closed", machine)
+						return
+					}
+					got[machine] += DeltaCount(m.Payload)
+				}
+				done.Done(mp)
+			})
+		}
+		done.Wait(p)
+	})
+	for m, c := range got {
+		if c != M-1 {
+			t.Errorf("machine %d decoded %d deltas, want %d", m, c, M-1)
+		}
+	}
+	if st := n.Stats(); st.Messages != M*(M-1) {
+		t.Errorf("messages = %d, want %d", st.Messages, M*(M-1))
+	}
+}

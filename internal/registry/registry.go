@@ -6,15 +6,20 @@
 //
 // Registered engines:
 //
-//	blaze        the online-binning engine (the paper's system)
-//	blaze-async  blaze driven barrier-free: priority-ordered page waves
-//	             (cache-resident first) with convergence detection
-//	             instead of round counting (see algo.AsyncDriver)
-//	blaze-sync   the synchronization-based variant ("sync" is an alias)
-//	flashgraph   the FlashGraph-style message-passing baseline
-//	graphene     the Graphene-style paired IO/compute baseline
-//	inmem        the Ligra-style in-core engine (no IO; needs adjacency
-//	             in memory, as do graphene's self-placed devices)
+//	blaze          the online-binning engine (the paper's system)
+//	blaze-async    blaze driven barrier-free: priority-ordered page waves
+//	               (cache-resident first) with convergence detection
+//	               instead of round counting (see algo.AsyncDriver)
+//	blaze-sync     the synchronization-based variant ("sync" is an alias)
+//	blaze-scaleout M destination-partitioned machines, each running the
+//	               blaze engine on its own device array, exchanging sparse
+//	               vertex deltas over a modeled interconnect (see
+//	               internal/cluster; Options.Machines/NetBandwidth/
+//	               NetLatencyNs, adjacency required for partitioning)
+//	flashgraph     the FlashGraph-style message-passing baseline
+//	graphene       the Graphene-style paired IO/compute baseline
+//	inmem          the Ligra-style in-core engine (no IO; needs adjacency
+//	               in memory, as do graphene's self-placed devices)
 package registry
 
 import (
@@ -24,6 +29,7 @@ import (
 	"blaze/algo"
 	"blaze/internal/baseline/flashgraph"
 	"blaze/internal/baseline/graphene"
+	"blaze/internal/cluster"
 	"blaze/internal/costmodel"
 	"blaze/internal/engine"
 	"blaze/internal/exec"
@@ -87,6 +93,15 @@ type Options struct {
 	// AsyncWavePages caps one blaze-async wave's page frontier
 	// (0 = algo.DefaultWavePages); the other engines ignore it.
 	AsyncWavePages int
+
+	// Machines, NetBandwidth and NetLatencyNs configure blaze-scaleout:
+	// the destination-partition count (default 1), each link direction's
+	// bandwidth in bytes/second (0 = 25 Gb/s) and the per-message latency
+	// (0 = 10 µs). Stats, when non-nil, must be sized to Machines*NumDev
+	// devices. The other engines ignore all three.
+	Machines     int
+	NetBandwidth float64
+	NetLatencyNs int64
 
 	// Scheds, QueryID and QueryCache are the session-aware construction
 	// surface (see internal/session): when Scheds is non-nil the engine
@@ -250,6 +265,28 @@ func init() {
 		cfg.QueryID = o.QueryID
 		cfg.QueryCache = o.QueryCache
 		return flashgraph.New(ctx, cfg)
+	}})
+	Register("blaze-scaleout", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
+		machines := o.Machines
+		if machines < 1 {
+			machines = 1
+		}
+		cfg := cluster.DefaultConfig(machines, o.Edges)
+		cfg.DevicesPerMachine = o.NumDev
+		cfg.Profile = o.Profile
+		cfg.ComputeWorkersPerMachine = o.Workers
+		if o.NetBandwidth > 0 {
+			cfg.NetBandwidth = o.NetBandwidth
+		}
+		if o.NetLatencyNs > 0 {
+			cfg.NetLatencyNs = o.NetLatencyNs
+		}
+		cfg.DevOpts = o.DevOpts
+		cfg.Engine.Model = o.model()
+		cfg.Engine.Stats = o.Stats
+		cfg.Engine.Mem = o.Mem
+		cfg.Engine.Tracer = o.Tracer
+		return cluster.New(ctx, cfg)
 	}})
 	Register("graphene", Info{NeedsAdjacency: true, New: func(ctx exec.Context, o Options) algo.System {
 		cfg := graphene.DefaultConfig(o.NumDev)
