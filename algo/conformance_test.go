@@ -45,7 +45,7 @@ func randomCSR(seed uint64, nEdges int) *graph.CSR {
 		src[i] = uint32(r.Intn(int(n)))
 		dst[i] = uint32(r.Intn(int(n)))
 	}
-	return graph.Build(n, src, dst)
+	return graph.MustBuild(n, src, dst)
 }
 
 // sysOn builds the named engine over its own fresh virtual-time context

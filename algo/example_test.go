@@ -14,7 +14,7 @@ import (
 // chain graph.
 func ExampleBFS() {
 	ctx := exec.NewSim()
-	c := graph.Build(16,
+	c := graph.MustBuild(16,
 		[]uint32{0, 1, 2},
 		[]uint32{1, 2, 3})
 	g := engine.FromCSR(ctx, "chain", c, 1, ssd.OptaneSSD, nil, nil)
@@ -32,7 +32,7 @@ func ExampleBFS() {
 // yielding each vertex's in-degree.
 func ExampleSpMV() {
 	ctx := exec.NewSim()
-	c := graph.Build(16,
+	c := graph.MustBuild(16,
 		[]uint32{0, 1, 2, 3},
 		[]uint32{5, 5, 5, 0})
 	g := engine.FromCSR(ctx, "star", c, 1, ssd.OptaneSSD, nil, nil)

@@ -23,7 +23,7 @@ func buildRandom(seed uint64, nEdges int) *graph.CSR {
 		src[i] = uint32(r.Intn(int(n)))
 		dst[i] = uint32(r.Intn(int(n)))
 	}
-	return graph.Build(n, src, dst)
+	return graph.MustBuild(n, src, dst)
 }
 
 func blazeOn(ctx exec.Context, c *graph.CSR) (*Blaze, *engine.Graph, *engine.Graph) {
@@ -158,7 +158,7 @@ func TestBCPropertyMatchesReference(t *testing.T) {
 // TestBFSOnSelfLoopsAndIsolated: degenerate structures.
 func TestBFSDegenerateGraphs(t *testing.T) {
 	// Self-loop at the source plus an isolated vertex.
-	c := graph.Build(16, []uint32{0, 0, 1}, []uint32{0, 1, 1})
+	c := graph.MustBuild(16, []uint32{0, 0, 1}, []uint32{0, 1, 1})
 	ctx := exec.NewSim()
 	sys, g, _ := blazeOn(ctx, c)
 	var parent []int64
@@ -177,7 +177,7 @@ func TestBFSDegenerateGraphs(t *testing.T) {
 
 // TestWCCSingleVertexComponents: a graph with no edges is all singletons.
 func TestWCCNoEdges(t *testing.T) {
-	c := graph.Build(32, nil, nil)
+	c := graph.MustBuild(32, nil, nil)
 	ctx := exec.NewSim()
 	sys, g, in := blazeOn(ctx, c)
 	var ids []uint32

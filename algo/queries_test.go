@@ -81,7 +81,7 @@ func TestPageRankRanksHubsHigher(t *testing.T) {
 		src = append(src, v)
 		dst = append(dst, 0)
 	}
-	c := graph.Build(n, src, dst)
+	c := graph.MustBuild(n, src, dst)
 	ctx := exec.NewSim()
 	g := engine.FromCSR(ctx, "star", c, 1, ssd.OptaneSSD, nil, nil)
 	cfg := engine.DefaultConfig(c.E)
@@ -115,7 +115,7 @@ func TestWCCDisconnected(t *testing.T) {
 	// Two triangles and an isolated vertex.
 	src := []uint32{0, 1, 2, 3, 4, 5}
 	dst := []uint32{1, 2, 0, 4, 5, 3}
-	c := graph.Build(16, src, dst)
+	c := graph.MustBuild(16, src, dst)
 	ctx := exec.NewSim()
 	g := engine.FromCSR(ctx, "tri", c, 1, ssd.OptaneSSD, nil, nil)
 	in := engine.FromCSR(ctx, "tri.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil)
@@ -173,7 +173,7 @@ func TestBCOnPath(t *testing.T) {
 	// Path 0->1->2->3: delta[1] = (1+delta[2]) = 2, delta[2] = 1.
 	src := []uint32{0, 1, 2}
 	dst := []uint32{1, 2, 3}
-	c := graph.Build(16, src, dst)
+	c := graph.MustBuild(16, src, dst)
 	ctx := exec.NewSim()
 	g := engine.FromCSR(ctx, "path", c, 1, ssd.OptaneSSD, nil, nil)
 	in := engine.FromCSR(ctx, "path.t", c.Transpose(), 1, ssd.OptaneSSD, nil, nil)

@@ -51,7 +51,7 @@ func Load(short string, scale float64) (*Dataset, error) {
 	}
 	p = p.Scaled(scale)
 	src, dst := p.Generate()
-	c := graph.Build(p.V, src, dst)
+	c := graph.MustBuild(p.V, src, dst)
 	tr := c.Transpose()
 	d := &Dataset{
 		Preset: p,

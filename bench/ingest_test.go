@@ -1,0 +1,69 @@
+package bench
+
+import "testing"
+
+// ingestNs extracts the (repair, full) makespans for one query prefix.
+func ingestNs(t *testing.T, entries []SnapshotEntry, query string) (repair, full int64) {
+	t.Helper()
+	for _, e := range entries {
+		switch e.Query {
+		case query + "-repair":
+			repair = e.MakespanNs
+		case query + "-full":
+			full = e.MakespanNs
+		}
+	}
+	if repair == 0 || full == 0 {
+		t.Fatalf("snapshot missing %s entries: %+v", query, entries)
+	}
+	return repair, full
+}
+
+// TestIngestSnapshotGate: after a 1%-of-|E| insertion batch seals into a
+// delta segment, repairing BFS from the affected frontier must beat a
+// full recompute over the same overlay by IngestRepairSpeedupFloor. This
+// is the CI perf gate for the incremental layer.
+func TestIngestSnapshotGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured runs; skipped in -short mode")
+	}
+	entries, err := IngestSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repair, full := ingestNs(t, entries, "bfs")
+	if float64(full) < IngestRepairSpeedupFloor*float64(repair) {
+		t.Errorf("bfs repair %dns is only %.2fx faster than full recompute %dns (floor %.1fx)",
+			repair, float64(full)/float64(repair), full, IngestRepairSpeedupFloor)
+	}
+	// WCC repair is reported, not gated, but must never lose outright.
+	repair, full = ingestNs(t, entries, "wcc")
+	if repair > full {
+		t.Errorf("wcc repair %dns slower than full recompute %dns", repair, full)
+	}
+}
+
+// TestIngestSnapshotDeterministic: the snapshot is a pure function of
+// the sim, so two runs measure identically — what lets CI diff
+// BENCH_ingest.json against a stored baseline.
+func TestIngestSnapshotDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured runs; skipped in -short mode")
+	}
+	a, err := IngestSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IngestSnapshot(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("entry %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

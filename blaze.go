@@ -405,7 +405,10 @@ func (rt *Runtime) MaxReadBandwidth() float64 {
 // GraphFromEdges builds an in-memory graph from an edge list and stripes it
 // over the runtime's devices.
 func (c *Ctx) GraphFromEdges(name string, n uint32, src, dst []uint32) (*Graph, error) {
-	csr := graph.Build(n, src, dst)
+	csr, err := graph.Build(n, src, dst)
+	if err != nil {
+		return nil, err
+	}
 	g := engine.FromCSR(c.rt.ctx, name, csr, c.rt.numDev, c.rt.profile, c.rt.stats, c.rt.tl, c.rt.devOpts...)
 	c.accountGraph(g)
 	return g, nil

@@ -13,6 +13,7 @@
 //	blaze-bench -snapshot-serving BENCH_serving.json      # serving latency-vs-load snapshot
 //	blaze-bench -snapshot-async BENCH_async.json          # barrier-free driver snapshot
 //	blaze-bench -snapshot-scaleout BENCH_scaleout.json    # machine-count sweep snapshot
+//	blaze-bench -snapshot-ingest BENCH_ingest.json        # incremental repair vs recompute snapshot
 //	blaze-bench -trace trace.json -stage-stats       # traced single run
 //	blaze-bench -list
 //
@@ -64,6 +65,7 @@ func run() (code int) {
 	snapshotServe := flag.String("snapshot-serving", "", "write a short-sim serving snapshot (per-class p50/p99, goodput, reject rate across an arrival-rate sweep) to this JSON file and exit")
 	snapshotAsync := flag.String("snapshot-async", "", "write a short-sim async-driver snapshot (blaze vs blaze-async makespans on the high-diameter crawl) to this JSON file and exit")
 	snapshotScaleout := flag.String("snapshot-scaleout", "", "write a short-sim scale-out snapshot (blaze-scaleout makespan, network bytes, and per-machine IO at M=1/2/4) to this JSON file and exit")
+	snapshotIngest := flag.String("snapshot-ingest", "", "write a short-sim dynamic-ingest snapshot (incremental BFS/WCC repair vs full recompute after a 1% insertion batch) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "run one traced measurement and write a Chrome trace_event JSON timeline (Perfetto-loadable) to this file")
 	stageStats := flag.Bool("stage-stats", false, "run one traced measurement and print the per-stage summary")
 	traceEngine := flag.String("trace-engine", "blaze", "engine for the traced run")
@@ -218,6 +220,24 @@ func run() (code int) {
 				float64(e.NetBytes)/1e6, e.NetMsgs, e.SpeedupVsM1)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotScaleout)
+		return 0
+	}
+
+	if *snapshotIngest != "" {
+		entries, err := bench.IngestSnapshot(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-ingest: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteSnapshot(*snapshotIngest, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot-ingest: %v\n", err)
+			return 1
+		}
+		for _, e := range entries {
+			fmt.Printf("%-8s %-10s makespan=%8.3fms\n",
+				e.Engine, e.Query, float64(e.MakespanNs)/1e6)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotIngest)
 		return 0
 	}
 

@@ -5,30 +5,60 @@
 //
 //	mkgraph -preset rmat27 -scale 512 -out /mnt/nvme/rmat27
 //	mkgraph -edges edges.txt -vertices 1000000 -out /mnt/nvme/custom
+//	mkgraph -edges huge.txt -maxMemMB 256 -out /mnt/nvme/huge
+//
+// With -maxMemMB the edge list is converted out of core: bounded-memory
+// sorted runs plus an external merge (internal/ingest), producing files
+// byte-identical to the in-memory build.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"blaze/gen"
 	"blaze/internal/graph"
+	"blaze/internal/ingest"
 )
 
 func main() {
 	preset := flag.String("preset", "", "Table II dataset short or full name (r2, rmat27, ur, tw, sk, fr, hy, ...)")
 	scale := flag.Float64("scale", 512, "divide the paper's dataset size by this factor")
 	edges := flag.String("edges", "", "plain-text edge list ('src dst' per line) instead of a preset")
-	vertices := flag.Uint("vertices", 0, "vertex count for -edges input (0 = max ID + 1)")
+	vertices := flag.Uint64("vertices", 0, "vertex count for -edges input (0 = max ID + 1)")
+	maxMemMB := flag.Int64("maxMemMB", 0, "external-sort -edges input under this edge-buffer budget (0 = build in memory)")
+	tmpDir := flag.String("tmpdir", "", "directory for external-sort run files (default: system temp)")
 	out := flag.String("out", "", "output base path (required)")
 	flag.Parse()
 	if *out == "" || (*preset == "") == (*edges == "") {
-		fmt.Fprintln(os.Stderr, "usage: mkgraph (-preset NAME -scale N | -edges FILE [-vertices N]) -out BASE")
+		fmt.Fprintln(os.Stderr, "usage: mkgraph (-preset NAME -scale N | -edges FILE [-vertices N] [-maxMemMB N]) -out BASE")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if *vertices > math.MaxUint32 {
+		// A count past uint32 used to truncate silently; reject it.
+		log.Fatalf("mkgraph: -vertices %d exceeds uint32 range", *vertices)
+	}
+
+	if *edges != "" && *maxMemMB > 0 {
+		// Out-of-core path: one pass over the input, both directions
+		// emitted straight off the merge streams.
+		stats, err := ingest.BuildFromFile(*edges, *out, ingest.Config{
+			MaxMemBytes: *maxMemMB << 20,
+			TmpDir:      *tmpDir,
+			Vertices:    uint32(*vertices),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("external-sorted %d edges over %d vertices (%d runs, %d MiB budget)\n",
+			stats.Edges, stats.Vertices, stats.Runs, *maxMemMB)
+		fmt.Printf("wrote %s.gr.index, %s.gr.adj.0, %s.tgr.index, %s.tgr.adj.0\n", *out, *out, *out, *out)
+		return
 	}
 
 	var src, dst []uint32
@@ -44,58 +74,21 @@ func main() {
 		n = p.V
 	} else {
 		var err error
-		src, dst, n, err = readEdgeList(*edges, uint32(*vertices))
+		src, dst, n, err = ingest.ReadFile(*edges, *vertices)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("read %d edges over %d vertices from %s\n", len(src), n, *edges)
 	}
 
-	c := graph.Build(n, src, dst)
+	c, err := graph.Build(n, src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tr := c.Transpose()
 	if err := graph.WriteFiles(c, tr, *out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s.gr.index, %s.gr.adj.0 (%d pages), %s.tgr.index, %s.tgr.adj.0\n",
 		*out, *out, c.NumPages(), *out, *out)
-}
-
-func readEdgeList(path string, n uint32) (src, dst []uint32, v uint32, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	maxID := uint32(0)
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if len(text) == 0 || text[0] == '#' {
-			continue
-		}
-		var s, d uint32
-		if _, err := fmt.Sscanf(text, "%d %d", &s, &d); err != nil {
-			return nil, nil, 0, fmt.Errorf("%s:%d: %w", path, line, err)
-		}
-		src = append(src, s)
-		dst = append(dst, d)
-		if s > maxID {
-			maxID = s
-		}
-		if d > maxID {
-			maxID = d
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, 0, err
-	}
-	if n == 0 {
-		n = maxID + 1
-	} else if uint32(maxID) >= n {
-		return nil, nil, 0, fmt.Errorf("edge endpoint %d exceeds -vertices %d", maxID, n)
-	}
-	return src, dst, n, nil
 }

@@ -1,12 +1,42 @@
 package blaze_test
 
 import (
+	"bufio"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"blaze/gen"
 )
+
+// writeEdgeListFile dumps the r2/40000 preset as a plain-text edge list,
+// the input both mkgraph build paths are compared on.
+func writeEdgeListFile(t *testing.T, path string) {
+	t.Helper()
+	p, err := gen.PresetByShort("r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := p.Scaled(40000).Generate()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# r2 at 1/40000 scale")
+	for i := range src {
+		fmt.Fprintf(w, "%d %d\n", src[i], dst[i])
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // TestCommandLineToolsEndToEnd builds the actual binaries and drives the
 // artifact workflow: generate a dataset with mkgraph, run every query tool
@@ -54,6 +84,36 @@ func TestCommandLineToolsEndToEnd(t *testing.T) {
 	}
 	if out := run("bc", "-sim", "-startNode", "0", "-inIndexFilename", tidx, "-inAdjFilenames", tadj, idx, adj); !strings.Contains(out, "dependency") {
 		t.Errorf("bc output: %s", out)
+	}
+
+	// Edge-list round trip: in-memory build and external merge-sort must
+	// produce byte-identical artifact files from the same input.
+	el := filepath.Join(data, "edges.txt")
+	writeEdgeListFile(t, el)
+	inMem, extSort := filepath.Join(data, "m"), filepath.Join(data, "x")
+	run("mkgraph", "-edges", el, "-out", inMem)
+	if out := run("mkgraph", "-edges", el, "-maxMemMB", "1", "-out", extSort); !strings.Contains(out, "external-sorted") {
+		t.Errorf("mkgraph external output: %s", out)
+	}
+	for _, suffix := range []string{".gr.index", ".gr.adj.0", ".tgr.index", ".tgr.adj.0"} {
+		a, err := os.ReadFile(inMem + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(extSort + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: external sort differs from in-memory build", suffix)
+		}
+	}
+
+	// Dynamic ingest: stream insertions, repair incrementally, verify
+	// bit-identity against full recomputes.
+	out = run("blaze-ingest", "-preset", "r2", "-scale", "40000", "-randUpdates", "500", "-batch", "250", "-verify")
+	if !strings.Contains(out, "verified bit-identical") || !strings.Contains(out, "final:") {
+		t.Errorf("blaze-ingest output: %s", out)
 	}
 
 	// blaze-bench on the quickest experiment, then render it.

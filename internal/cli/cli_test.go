@@ -14,7 +14,7 @@ func writeTestGraph(t *testing.T) string {
 	dir := t.TempDir()
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: 8, V: 1024, E: 8000}
 	src, dst := p.Generate()
-	c := graph.Build(p.V, src, dst)
+	c := graph.MustBuild(p.V, src, dst)
 	base := filepath.Join(dir, "g")
 	if err := graph.WriteFiles(c, c.Transpose(), base); err != nil {
 		t.Fatal(err)

@@ -173,7 +173,7 @@ func (cl *Cluster) partitionsFor(g *engine.Graph) ([]*engine.Graph, error) {
 	opts := ssd.MergeDeviceOptions(cl.Cfg.DevOpts)
 	ps := make([]*engine.Graph, M)
 	for m := 0; m < M; m++ {
-		sub := graph.Build(c.V, srcs[m], dsts[m])
+		sub := graph.MustBuild(c.V, srcs[m], dsts[m])
 		devs := make([]*ssd.Device, cl.Cfg.DevicesPerMachine)
 		for d := 0; d < cl.Cfg.DevicesPerMachine; d++ {
 			id := m*cl.Cfg.DevicesPerMachine + d

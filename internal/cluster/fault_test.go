@@ -25,7 +25,7 @@ import (
 // the partitionsFor panic.
 func TestClusterNoAdjacencyError(t *testing.T) {
 	ctx := exec.NewSim()
-	c := graph.Build(16, []uint32{0, 1, 2}, []uint32{1, 2, 3})
+	c := graph.MustBuild(16, []uint32{0, 1, 2}, []uint32{1, 2, 3})
 	c.Adj = nil // index-only graph, as a file loader without ReadAdj leaves it
 	g := &engine.Graph{Name: "noadj", CSR: c}
 	cl := cluster.New(ctx, cluster.DefaultConfig(2, c.E))

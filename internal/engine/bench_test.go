@@ -20,7 +20,7 @@ import (
 func BenchmarkEdgeMapRealPageRank(b *testing.B) {
 	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 11, V: 65536, E: 1_000_000}
 	src, dst := pr.Generate()
-	c := graph.Build(pr.V, src, dst)
+	c := graph.MustBuild(pr.V, src, dst)
 	deg := make([]float64, c.V)
 	for i := int64(0); i < c.E; i++ {
 		deg[graph.GetEdge(c.Adj, i)]++

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"testing"
+
+	"blaze/gen"
+	"blaze/internal/exec"
+	"blaze/internal/frontier"
+	"blaze/internal/graph"
+	"blaze/internal/metrics"
+	"blaze/internal/pagecache"
+	"blaze/internal/ssd"
+)
+
+// inDegrees runs a full-frontier counting EdgeMap over g (base + any
+// segments) and returns per-vertex in-degrees.
+func inDegrees(t *testing.T, ctx exec.Context, g *Graph, conf Config) []int64 {
+	t.Helper()
+	got := make([]int64, g.CSR.V)
+	ctx.Run("main", func(p exec.Proc) {
+		_, _, err := EdgeMap(ctx, p, g, frontier.All(g.CSR.V),
+			func(s, d uint32) int64 { return 1 },
+			func(d uint32, v int64) bool { got[d] += v; return false },
+			func(d uint32) bool { return true },
+			false, conf)
+		if err != nil {
+			t.Errorf("EdgeMap: %v", err)
+		}
+	})
+	return got
+}
+
+// Multi-source EdgeMap must see the union of base and segment edges.
+func TestEdgeMapIteratesSegments(t *testing.T) {
+	for _, numDev := range []int{1, 2, 4} {
+		ctx := exec.NewSim()
+		stats := metrics.NewIOStats(numDev)
+		g, c := testGraph(ctx, numDev, stats)
+		dy := NewDynamic(ctx, g, nil, ssd.OptaneSSD, stats, nil, nil)
+
+		// Two sealed batches plus reference bookkeeping.
+		want := make([]int64, c.V)
+		for i := int64(0); i < c.E; i++ {
+			want[graph.GetEdge(c.Adj, i)]++
+		}
+		for batch := 0; batch < 2; batch++ {
+			for i := 0; i < 500; i++ {
+				s := uint32((batch*7919 + i*104729) % int(c.V))
+				d := uint32((batch*31 + i*13) % int(c.V))
+				if err := dy.Add(s, d); err != nil {
+					t.Fatal(err)
+				}
+				want[d]++
+			}
+			if src, dst := dy.Seal(); len(src) != 500 || len(dst) != 500 {
+				t.Fatalf("Seal returned %d/%d edges", len(src), len(dst))
+			}
+		}
+		if dy.Segments() != 2 {
+			t.Fatalf("segments = %d, want 2", dy.Segments())
+		}
+
+		got := inDegrees(t, ctx, g, DefaultConfig(c.E))
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("numDev=%d: in-degree(%d) = %d, want %d", numDev, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// An EdgeMap over base+segments must be operation-equivalent to an EdgeMap
+// over the compacted (flattened) graph — and compaction must not change
+// results.
+func TestCompactPreservesResults(t *testing.T) {
+	ctx := exec.NewSim()
+	g, c := testGraph(ctx, 2, nil)
+	dy := NewDynamic(ctx, g, nil, ssd.OptaneSSD, nil, nil, nil)
+	for i := 0; i < 300; i++ {
+		if err := dy.Add(uint32(i*37%int(c.V)), uint32(i*101%int(c.V))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dy.Seal()
+	overlay := inDegrees(t, ctx, g, DefaultConfig(c.E))
+	if err := dy.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Segs) != 0 {
+		t.Fatalf("segments survive compaction: %d", len(g.Segs))
+	}
+	if g.CSR.E != c.E+300 {
+		t.Fatalf("compacted E = %d, want %d", g.CSR.E, c.E+300)
+	}
+	compacted := inDegrees(t, ctx, g, DefaultConfig(g.CSR.E))
+	for v := range overlay {
+		if overlay[v] != compacted[v] {
+			t.Fatalf("in-degree(%d): overlay %d != compacted %d", v, overlay[v], compacted[v])
+		}
+	}
+}
+
+// The transpose mirror: every insertion s→d must appear as d→s in the
+// transpose overlay.
+func TestDynamicMirrorsTranspose(t *testing.T) {
+	ctx := exec.NewSim()
+	p := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 3, V: 512, E: 4000}
+	src, dst := p.Generate()
+	c := graph.MustBuild(p.V, src, dst)
+	tr := c.Transpose()
+	fwd := FromCSR(ctx, "m", c, 1, ssd.OptaneSSD, nil, nil)
+	trg := FromCSR(ctx, "m.t", tr, 1, ssd.OptaneSSD, nil, nil)
+	dy := NewDynamic(ctx, fwd, trg, ssd.OptaneSSD, nil, nil, nil)
+	for i := 0; i < 100; i++ {
+		if err := dy.Add(uint32(i*5%int(c.V)), uint32(i*11%int(c.V))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dy.Seal()
+	if len(fwd.Segs) != 1 || len(trg.Segs) != 1 {
+		t.Fatalf("segments: fwd=%d tr=%d", len(fwd.Segs), len(trg.Segs))
+	}
+	// Out-degree over the transpose overlay == in-degree over the forward
+	// overlay, vertex for vertex.
+	fin := inDegrees(t, ctx, fwd, DefaultConfig(c.E))
+	var tout [512]int64
+	for v := uint32(0); v < trg.CSR.V; v++ {
+		tout[v] = int64(trg.CSR.Degrees[v]) + int64(trg.Segs[0].CSR.Degrees[v])
+	}
+	for v := range fin {
+		if fin[v] != tout[v] {
+			t.Fatalf("vertex %d: forward in-degree %d != transpose out-degree %d", v, fin[v], tout[v])
+		}
+	}
+}
+
+// A segment-free graph must execute the exact seed pipeline: same virtual
+// makespan as before the multi-source refactor (regression anchor: the
+// figure CSVs depend on it). We assert determinism and that wrapping in a
+// Dynamic with no seals changes nothing.
+func TestDynamicNoSegmentsIdentical(t *testing.T) {
+	run := func(wrap bool) int64 {
+		ctx := exec.NewSim()
+		g, c := testGraph(ctx, 2, nil)
+		if wrap {
+			dy := NewDynamic(ctx, g, nil, ssd.OptaneSSD, nil, nil, nil)
+			_ = dy
+		}
+		acc := make([]int64, c.V)
+		ctx.Run("main", func(p exec.Proc) {
+			EdgeMap(ctx, p, g, frontier.All(c.V),
+				func(s, d uint32) int64 { return 1 },
+				func(d uint32, v int64) bool { acc[d] += v; return false },
+				func(d uint32) bool { return true },
+				false, DefaultConfig(c.E))
+		})
+		return ctx.End
+	}
+	if a, b := run(false), run(true); a != b || a == 0 {
+		t.Errorf("idle Dynamic wrapper changed the makespan: %d vs %d", a, b)
+	}
+}
+
+// Compaction with a page cache must invalidate the base's and segments'
+// stale pages.
+func TestCompactDropsCachedPages(t *testing.T) {
+	ctx := exec.NewSim()
+	g, c := testGraph(ctx, 1, nil)
+	cache := pagecache.New(8 << 20)
+	conf := DefaultConfig(c.E)
+	conf.PageCache = cache
+	dy := NewDynamic(ctx, g, nil, ssd.OptaneSSD, nil, nil, cache)
+	for i := 0; i < 200; i++ {
+		dy.Add(uint32(i%int(c.V)), uint32((i*3)%int(c.V)))
+	}
+	dy.Seal()
+	inDegrees(t, ctx, g, conf) // populate the cache from base + segment
+	if cache.Len() == 0 {
+		t.Fatal("cache empty after full-frontier run")
+	}
+	if err := dy.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cache.Len(); n != 0 {
+		t.Errorf("%d stale pages survive compaction", n)
+	}
+	// Post-compaction queries still agree with the reference count.
+	got := inDegrees(t, ctx, g, conf)
+	want := make([]int64, c.V)
+	for i := int64(0); i < g.CSR.E; i++ {
+		want[graph.GetEdge(g.CSR.Adj, i)]++
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("post-compaction in-degree(%d) = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

@@ -75,25 +75,41 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 		t0 = p.Now()
 	}
 
-	// Step 1: vertex frontier -> per-device page frontiers.
-	ps := pipeline.PageSource(ctx, p, f, c, numDev, computeProcs)
-	p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
+	// Step 1: vertex frontier -> per-device page frontiers, one conversion
+	// per graph source. A graph with sealed delta segments (Graph.Segs)
+	// iterates as [base, seg0, seg1, ...]; a segment-free graph is the
+	// single-source seed path, operation for operation.
+	sources := append([]*Graph{g}, g.Segs...)
+	pss := make([]*frontier.PageSubset, len(sources))
+	var totalPages int64
+	for _, sg := range sources {
+		if sg.CSR.V != c.V {
+			return nil, st, fmt.Errorf("engine: segment %q has %d vertices, base has %d", sg.Name, sg.CSR.V, c.V)
+		}
+	}
+	for k, sg := range sources {
+		pss[k] = pipeline.PageSource(ctx, p, f, sg.CSR, numDev, computeProcs)
+		p.Advance(m.VertexOp * f.Count() / int64(computeProcs))
+		totalPages += pss[k].Pages()
+	}
 	if ctr.Active() {
 		t1 := p.Now()
 		ctr.Span(trace.OpPhase, -1, t0, t1, int64(trace.PhaseSource))
 		t0 = t1
 	}
-	if ps.Pages() == 0 {
+	if totalPages == 0 {
 		if !output {
 			return nil, st, nil
 		}
 		return frontier.NewVertexSubset(c.V), st, nil
 	}
 
-	// IO buffers and their two MPMC queues (steps 2-4, 7).
+	// IO buffers and their two MPMC queues (steps 2-4, 7). The buffer
+	// floor scales with the reader count (one reader per source × device).
+	numReaders := numDev * len(sources)
 	bufPages := cfg.MaxMergePages
 	bufLen := bufPages * ssd.PageSize
-	bufCount := pipeline.BufferCount(cfg.IOBufferBytes, bufLen, numDev, ps.Pages())
+	bufCount := pipeline.BufferCount(cfg.IOBufferBytes, bufLen, numReaders, totalPages)
 	free, filled := pipeline.NewQueues(ctx, bufCount)
 	var bufs []*pipeline.Buffer
 	if pool != nil {
@@ -155,86 +171,97 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 	// trimmed off a partial run so the device reads only the uncached
 	// middle span.
 	cache := cfg.PageCache
-	var gid pagecache.ID
-	var stride int64
-	if cache.Enabled() {
-		// Pages are keyed by the graph's interned name, not its CSR
-		// pointer, so the cache never pins the index against GC and a
-		// reloaded graph hits its previous incarnation's entries. The
-		// logical-page stride between device-adjacent pages of a striped
-		// array is the device count.
-		gid = cache.GraphID(g.Name)
-		stride = int64(numDev)
-	}
+	stride := int64(numDev)
 	owner := cfg.CacheOwner()
 	qcache := cfg.QueryCache
-	readers := make([]*pipeline.Reader, numDev)
-	for d := 0; d < numDev; d++ {
-		dev := d
-		r := &pipeline.Reader{
-			Name:       fmt.Sprintf("io%d", dev),
-			Device:     g.Arr.Device(dev),
-			Dev:        dev,
-			Query:      cfg.TraceQuery(),
-			Pages:      ps.PerDev[dev],
-			Free:       free,
-			Filled:     filled,
-			Latch:      ab,
-			Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
-			SubmitCost: m.IOSubmit,
-			Batched:    true,
-			Tracer:     cfg.Tracer,
-			WrapErr: func(err error) error {
-				return fmt.Errorf("engine: edgemap on %q: %w", g.Name, err)
-			},
-		}
-		if cfg.Scheds != nil {
-			// Session mode: route this device's reads through the shared
-			// per-device scheduler (cross-query coalescing + DRR pacing).
-			r.Sched = cfg.Scheds.For(r.Device)
-		}
+	readers := make([]*pipeline.Reader, 0, numReaders)
+	for k, sg := range sources {
+		src, arr := k, sg.Arr
+		var gid pagecache.ID
 		if cache.Enabled() {
-			r.HitCost = m.PageOverhead / 2
-			r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
-				base := g.Arr.Logical(buf.Dev, buf.Start)
-				prefix, suffix = cache.ProbeRun(gid, base, stride, n, buf.Data)
-				if qcache != nil {
-					served := int64(prefix + suffix)
-					qcache.Add(served, int64(n)-served)
-				}
-				return prefix, suffix
-			}
-			r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
-				// Key construction is pure: hoist the striped-array math out
-				// of the synchronized section so the lock window only covers
-				// the cache inserts. Logical(dev, local+pg) advances by the
-				// device-count stride per page of the merged run. Only the
-				// device-read span [lo, hi) is inserted — cache-served
-				// prefix/suffix pages are already resident.
-				base := g.Arr.Logical(buf.Dev, buf.Start)
-				ftr := trace.RingOf(io)
-				io.Sync()
-				for pg := lo; pg < hi; pg++ {
-					res := cache.PutOwned(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
-						buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize], owner)
-					if res&pagecache.PutQuotaRejected != 0 && qcache != nil {
-						qcache.AddQuotaRejected(1)
-					}
-					if ftr.Active() {
-						if res&pagecache.PutEvicted != 0 {
-							ftr.Instant(trace.OpCacheEvict, int32(buf.Dev), io.Now(), 1)
-						}
-						if res&pagecache.PutGhostHit != 0 {
-							ftr.Instant(trace.OpCacheGhostHit, int32(buf.Dev), io.Now(), 1)
-						}
-					}
-				}
-			}
+			// Pages are keyed by the source graph's interned name, not its
+			// CSR pointer, so the cache never pins the index against GC, a
+			// reloaded graph hits its previous incarnation's entries, and
+			// each delta segment gets its own key space. The logical-page
+			// stride between device-adjacent pages of a striped array is
+			// the device count.
+			gid = cache.GraphID(sg.Name)
 		}
-		readers[dev] = r
+		for d := 0; d < numDev; d++ {
+			dev := d
+			name := fmt.Sprintf("io%d", dev)
+			if k > 0 {
+				name = fmt.Sprintf("io%d.s%d", dev, k-1)
+			}
+			r := &pipeline.Reader{
+				Name:       name,
+				Device:     arr.Device(dev),
+				Dev:        dev,
+				Src:        src,
+				Query:      cfg.TraceQuery(),
+				Pages:      pss[k].PerDev[dev],
+				Free:       free,
+				Filled:     filled,
+				Latch:      ab,
+				Merge:      pipeline.MergeRuns(cfg.MaxMergePages),
+				SubmitCost: m.IOSubmit,
+				Batched:    true,
+				Tracer:     cfg.Tracer,
+				WrapErr: func(err error) error {
+					return fmt.Errorf("engine: edgemap on %q: %w", g.Name, err)
+				},
+			}
+			if cfg.Scheds != nil && k == 0 {
+				// Session mode: route the base graph's reads through the
+				// shared per-device scheduler (cross-query coalescing + DRR
+				// pacing). Segment arrays are private to this graph — they
+				// are not in the session's device table — so their readers
+				// go to the device directly.
+				r.Sched = cfg.Scheds.For(r.Device)
+			}
+			if cache.Enabled() {
+				r.HitCost = m.PageOverhead / 2
+				r.ProbeRun = func(io exec.Proc, buf *pipeline.Buffer, n int) (prefix, suffix int) {
+					base := arr.Logical(buf.Dev, buf.Start)
+					prefix, suffix = cache.ProbeRun(gid, base, stride, n, buf.Data)
+					if qcache != nil {
+						served := int64(prefix + suffix)
+						qcache.Add(served, int64(n)-served)
+					}
+					return prefix, suffix
+				}
+				r.Fill = func(io exec.Proc, buf *pipeline.Buffer, lo, hi int) {
+					// Key construction is pure: hoist the striped-array math out
+					// of the synchronized section so the lock window only covers
+					// the cache inserts. Logical(dev, local+pg) advances by the
+					// device-count stride per page of the merged run. Only the
+					// device-read span [lo, hi) is inserted — cache-served
+					// prefix/suffix pages are already resident.
+					base := arr.Logical(buf.Dev, buf.Start)
+					ftr := trace.RingOf(io)
+					io.Sync()
+					for pg := lo; pg < hi; pg++ {
+						res := cache.PutOwned(pagecache.Key{Graph: gid, Logical: base + int64(pg)*stride},
+							buf.Data[pg*ssd.PageSize:(pg+1)*ssd.PageSize], owner)
+						if res&pagecache.PutQuotaRejected != 0 && qcache != nil {
+							qcache.AddQuotaRejected(1)
+						}
+						if ftr.Active() {
+							if res&pagecache.PutEvicted != 0 {
+								ftr.Instant(trace.OpCacheEvict, int32(buf.Dev), io.Now(), 1)
+							}
+							if res&pagecache.PutGhostHit != 0 {
+								ftr.Instant(trace.OpCacheGhostHit, int32(buf.Dev), io.Now(), 1)
+							}
+						}
+					}
+				}
+			}
+			readers = append(readers, r)
+		}
 	}
 	ioWG := ctx.NewWaitGroup()
-	ioWG.Add(numDev)
+	ioWG.Add(numReaders)
 	pipeline.Start(ctx, ioWG, readers)
 	// Closer proc ends the filled stream once all IO procs finish.
 	pipeline.CloseAfter(ctx, "io-closer", ioWG, filled)
@@ -250,10 +277,11 @@ func EdgeMap[V any](ctx exec.Context, p exec.Proc, g *Graph, f *frontier.VertexS
 			stager := stagers[id]
 			local := &scatStats[id]
 			pipeline.Drain(sp, free, filled, ab, true, func(buf *pipeline.Buffer) {
+				sg := sources[buf.Src]
 				for pg := 0; pg < buf.NumPages; pg++ {
-					logical := g.Arr.Logical(buf.Dev, buf.Start+int64(pg))
+					logical := sg.Arr.Logical(buf.Dev, buf.Start+int64(pg))
 					pageData := buf.Data[pg*ssd.PageSize : (pg+1)*ssd.PageSize]
-					scanPage[V](sp, g, f, logical, pageData, stager, scatter, cond, cfg, local)
+					scanPage[V](sp, sg, f, logical, pageData, stager, scatter, cond, cfg, local)
 				}
 				local.PagesRead += int64(buf.NumPages)
 			})

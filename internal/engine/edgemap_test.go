@@ -14,7 +14,7 @@ import (
 func testGraph(ctx exec.Context, numDev int, stats *metrics.IOStats) (*Graph, *graph.CSR) {
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 11, V: 4096, E: 60000}
 	src, dst := p.Generate()
-	c := graph.Build(p.V, src, dst)
+	c := graph.MustBuild(p.V, src, dst)
 	return FromCSR(ctx, "test", c, numDev, ssd.OptaneSSD, stats, nil), c
 }
 
@@ -189,7 +189,7 @@ func TestEdgeMapSaturatesOptane(t *testing.T) {
 	stats := metrics.NewIOStats(1)
 	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 4, V: 65536, E: 2_000_000}
 	src, dst := pr.Generate()
-	c := graph.Build(pr.V, src, dst)
+	c := graph.MustBuild(pr.V, src, dst)
 	g := FromCSR(ctx, "sat", c, 1, ssd.OptaneSSD, stats, nil)
 	conf := DefaultConfig(c.E)
 	conf.Stats = stats

@@ -19,7 +19,7 @@ import (
 func faultyGraph(ctx exec.Context, numDev int, stats *metrics.IOStats, fp fault.Policy) (*Graph, *graph.CSR) {
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 11, V: 4096, E: 60000}
 	src, dst := p.Generate()
-	c := graph.Build(p.V, src, dst)
+	c := graph.MustBuild(p.V, src, dst)
 	return FromCSR(ctx, "faulty", c, numDev, ssd.OptaneSSD, stats, nil, fp.DeviceOptions()), c
 }
 

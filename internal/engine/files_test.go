@@ -20,7 +20,7 @@ func TestEdgeMapFromFiles(t *testing.T) {
 	dir := t.TempDir()
 	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 77, V: 4096, E: 50000}
 	src, dst := pr.Generate()
-	c := graph.Build(pr.V, src, dst)
+	c := graph.MustBuild(pr.V, src, dst)
 	base := filepath.Join(dir, "g")
 	if err := graph.WriteFiles(c, nil, base); err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestFromFilesErrors(t *testing.T) {
 		t.Error("missing index did not error")
 	}
 	// Valid index, missing adjacency.
-	c := graph.Build(16, []uint32{0}, []uint32{1})
+	c := graph.MustBuild(16, []uint32{0}, []uint32{1})
 	if err := graph.WriteIndex(c, dir+"/g.gr.index"); err != nil {
 		t.Fatal(err)
 	}

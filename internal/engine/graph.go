@@ -32,6 +32,11 @@ type Graph struct {
 	// vertices, computed from the real in-degree distribution; it prices
 	// atomic contention in the synchronization-based engines.
 	HotFrac float64
+	// Segs holds sealed delta segments overlaying this graph: each is a
+	// small device-backed graph over the same vertex space whose edges
+	// EdgeMap iterates after the base's (the log-structured overlay a
+	// Dynamic wrapper maintains). nil for static graphs — the seed path.
+	Segs []*Graph
 
 	file *os.File // backing file when loaded from disk, for Close
 }
@@ -91,7 +96,7 @@ func FromFiles(ctx exec.Context, name, indexPath, adjPath string, numDev int, pr
 func BuildPreset(ctx exec.Context, p gen.Preset, numDev int, prof ssd.Profile,
 	stats *metrics.IOStats, tl *metrics.Timeline, opts ...ssd.DeviceOptions) (out, in *Graph) {
 	src, dst := p.Generate()
-	c := graph.Build(p.V, src, dst)
+	c := graph.MustBuild(p.V, src, dst)
 	tr := c.Transpose()
 	hot := graph.HotEdgeFraction(tr.Degrees, 0.001)
 	out = FromCSR(ctx, p.Name, c, numDev, prof, stats, tl, opts...)

@@ -200,7 +200,7 @@ func pagesOfModel(f *VertexSubset, c *graph.CSR, numDev int) [][]int64 {
 func TestPagesOfMatchesModel(t *testing.T) {
 	pr := gen.Preset{Kind: gen.KindRMAT, A: 0.57, B: 0.19, C: 0.19, Seed: 5, V: 2048, E: 30000}
 	src, dst := pr.Generate()
-	c := graph.Build(pr.V, src, dst)
+	c := graph.MustBuild(pr.V, src, dst)
 	for _, numDev := range []int{1, 3, 8} {
 		for _, mode := range []string{"sparse", "dense", "all"} {
 			var f *VertexSubset
@@ -252,7 +252,7 @@ func TestPagesOfMatchesModel(t *testing.T) {
 func TestPagesOfFullFrontierCoversAllPages(t *testing.T) {
 	pr := gen.Preset{Kind: gen.KindUniform, Seed: 2, V: 1024, E: 20000}
 	src, dst := pr.Generate()
-	c := graph.Build(pr.V, src, dst)
+	c := graph.MustBuild(pr.V, src, dst)
 	ps := PagesOf(All(pr.V), c, 2)
 	if ps.Pages() != c.NumPages() {
 		t.Errorf("full frontier touched %d pages, want all %d", ps.Pages(), c.NumPages())
@@ -260,7 +260,7 @@ func TestPagesOfFullFrontierCoversAllPages(t *testing.T) {
 }
 
 func TestPagesOfEmptyFrontier(t *testing.T) {
-	c := graph.Build(16, []uint32{0}, []uint32{1})
+	c := graph.MustBuild(16, []uint32{0}, []uint32{1})
 	ps := PagesOf(NewVertexSubset(16), c, 4)
 	if ps.Pages() != 0 {
 		t.Errorf("empty frontier produced %d pages", ps.Pages())

@@ -16,7 +16,7 @@ func randomCSR(rng *rand.Rand, v uint32, e int) *graph.CSR {
 		src[i] = uint32(rng.Intn(int(v)))
 		dst[i] = uint32(rng.Intn(int(v)))
 	}
-	return graph.Build(v, src, dst)
+	return graph.MustBuild(v, src, dst)
 }
 
 // randomSubset activates each vertex with probability p/100.

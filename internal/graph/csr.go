@@ -45,16 +45,19 @@ type CSR struct {
 
 // Build constructs a CSR with adjacency from an edge list over n vertices.
 // It is deterministic: edges keep their input order within each source
-// bucket (counting sort).
-func Build(n uint32, src, dst []uint32) *CSR {
+// bucket (counting sort). A length mismatch between src and dst or an
+// endpoint outside [0, n) returns an error (the PR 2 error-propagation
+// contract: malformed input is a runtime condition, not a programmer
+// panic).
+func Build(n uint32, src, dst []uint32) (*CSR, error) {
 	if len(src) != len(dst) {
-		panic("graph: src/dst length mismatch")
+		return nil, fmt.Errorf("graph: src/dst length mismatch (%d vs %d)", len(src), len(dst))
 	}
 	c := &CSR{V: n, E: int64(len(src))}
 	c.Degrees = make([]uint32, n)
-	for _, s := range src {
+	for i, s := range src {
 		if s >= n {
-			panic(fmt.Sprintf("graph: source %d out of range %d", s, n))
+			return nil, fmt.Errorf("graph: edge %d: source %d out of range %d", i, s, n)
 		}
 		c.Degrees[s]++
 	}
@@ -68,12 +71,24 @@ func Build(n uint32, src, dst []uint32) *CSR {
 	for i, s := range src {
 		d := dst[i]
 		if d >= n {
-			panic(fmt.Sprintf("graph: destination %d out of range %d", d, n))
+			return nil, fmt.Errorf("graph: edge %d: destination %d out of range %d", i, d, n)
 		}
 		putEdge(c.Adj, cursor[s], d)
 		cursor[s]++
 	}
 	c.buildPageMap()
+	return c, nil
+}
+
+// MustBuild is Build for edge lists that are valid by construction
+// (generated presets, partitions of an existing CSR, test fixtures); it
+// panics on the errors Build reports, which there indicate a programming
+// bug rather than bad input.
+func MustBuild(n uint32, src, dst []uint32) *CSR {
+	c, err := Build(n, src, dst)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -198,7 +213,8 @@ func (c *CSR) Transpose() *CSR {
 			i++
 		}
 	}
-	return Build(c.V, src, dst)
+	// Endpoints come from a valid CSR, so Build cannot fail.
+	return MustBuild(c.V, src, dst)
 }
 
 // IndexBytes returns the in-memory metadata footprint: degrees, group

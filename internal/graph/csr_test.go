@@ -18,7 +18,7 @@ import (
 func tinyGraph() *CSR {
 	src := []uint32{0, 0, 1, 2, 4, 4, 4, 4}
 	dst := []uint32{1, 2, 2, 0, 0, 1, 2, 3}
-	return Build(5, src, dst)
+	return MustBuild(5, src, dst)
 }
 
 func TestBuildDegreesAndOffsets(t *testing.T) {
@@ -61,7 +61,7 @@ func TestNeighborsPreserveOrder(t *testing.T) {
 func TestTransposeInvolution(t *testing.T) {
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.5, B: 0.2, C: 0.2, Seed: 9, V: 256, E: 2000}
 	src, dst := p.Generate()
-	c := Build(p.V, src, dst)
+	c := MustBuild(p.V, src, dst)
 	tt := c.Transpose().Transpose()
 	if tt.V != c.V || tt.E != c.E {
 		t.Fatalf("double transpose shape (%d,%d) != (%d,%d)", tt.V, tt.E, c.V, c.E)
@@ -209,7 +209,7 @@ func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	p := gen.Preset{Kind: gen.KindRMAT, A: 0.55, B: 0.2, C: 0.2, Seed: 3, V: 512, E: 5000}
 	src, dst := p.Generate()
-	c := Build(p.V, src, dst)
+	c := MustBuild(p.V, src, dst)
 	base := filepath.Join(dir, "test")
 	if err := WriteFiles(c, c.Transpose(), base); err != nil {
 		t.Fatal(err)

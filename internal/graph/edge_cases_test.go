@@ -7,7 +7,7 @@ import (
 )
 
 func TestEmptyGraph(t *testing.T) {
-	c := Build(16, nil, nil)
+	c := MustBuild(16, nil, nil)
 	if c.E != 0 || c.NumPages() != 0 {
 		t.Errorf("empty graph: E=%d pages=%d", c.E, c.NumPages())
 	}
@@ -53,7 +53,7 @@ func TestAdjFilePagePadding(t *testing.T) {
 	// The adjacency file must be padded to whole pages so device reads of
 	// the final page never short-read.
 	dir := t.TempDir()
-	c := Build(16, []uint32{0, 1, 2}, []uint32{1, 2, 3}) // 12 bytes of edges
+	c := MustBuild(16, []uint32{0, 1, 2}, []uint32{1, 2, 3}) // 12 bytes of edges
 	path := filepath.Join(dir, "a.adj")
 	if err := WriteAdj(c, path); err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestWriteAdjRequiresAdjacency(t *testing.T) {
 
 func TestOpenAdjRejectsTruncated(t *testing.T) {
 	dir := t.TempDir()
-	c := Build(16, []uint32{0, 0, 0}, []uint32{1, 2, 3})
+	c := MustBuild(16, []uint32{0, 0, 0}, []uint32{1, 2, 3})
 	short := filepath.Join(dir, "short.adj")
 	if err := os.WriteFile(short, make([]byte, 4), 0o644); err != nil {
 		t.Fatal(err)
@@ -91,7 +91,7 @@ func TestReadIndexRejectsOversizedHeader(t *testing.T) {
 	// rejected before any large allocation (fuzz regression).
 	dir := t.TempDir()
 	path := filepath.Join(dir, "huge.gr.index")
-	c := Build(16, []uint32{0}, []uint32{1})
+	c := MustBuild(16, []uint32{0}, []uint32{1})
 	if err := WriteIndex(c, path); err != nil {
 		t.Fatal(err)
 	}
@@ -122,8 +122,35 @@ func TestNeighborsPanicsOnIndexOnly(t *testing.T) {
 	NewIndexOnly([]uint32{1, 0}).Neighbors(0)
 }
 
+// Build used to panic on malformed edge lists; it now reports errors (the
+// PR 2 error-propagation contract). MustBuild keeps the panic for inputs
+// that are valid by construction.
+func TestBuildReturnsErrors(t *testing.T) {
+	if _, err := Build(4, []uint32{0, 1}, []uint32{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Build(4, []uint32{4}, []uint32{0}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := Build(4, []uint32{0}, []uint32{4}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if c, err := Build(4, []uint32{3}, []uint32{0}); err != nil || c == nil {
+		t.Errorf("valid edge list rejected: %v", err)
+	}
+}
+
+func TestMustBuildPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on out-of-range endpoint did not panic")
+		}
+	}()
+	MustBuild(2, []uint32{5}, []uint32{0})
+}
+
 func TestMaxDegree(t *testing.T) {
-	c := Build(16, []uint32{0, 0, 0, 5}, []uint32{1, 2, 3, 6})
+	c := MustBuild(16, []uint32{0, 0, 0, 5}, []uint32{1, 2, 3, 6})
 	if c.MaxDegree() != 3 {
 		t.Errorf("MaxDegree = %d, want 3", c.MaxDegree())
 	}

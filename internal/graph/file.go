@@ -82,6 +82,55 @@ func WriteAdj(c *CSR, path string) (err error) {
 	return nil
 }
 
+// AdjWriter streams a .gr.adj.0 file one destination ID at a time, so the
+// external-sort ingester can emit the adjacency directly off its merge
+// stream without ever materializing it. The byte stream is identical to
+// WriteAdj on the same edge order: packed little-endian uint32
+// destinations followed by zero padding to a whole page.
+type AdjWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	edges int64
+	buf   [EdgeBytes]byte
+}
+
+// NewAdjWriter creates (truncates) path for streaming adjacency output.
+func NewAdjWriter(path string) (*AdjWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &AdjWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+// WriteEdge appends one destination ID.
+func (a *AdjWriter) WriteEdge(dst uint32) error {
+	binary.LittleEndian.PutUint32(a.buf[:], dst)
+	_, err := a.w.Write(a.buf[:])
+	a.edges++
+	return err
+}
+
+// Edges returns the number of destinations written so far.
+func (a *AdjWriter) Edges() int64 { return a.edges }
+
+// Close pads the file to a whole page (matching WriteAdj) and closes it.
+func (a *AdjWriter) Close() error {
+	adjBytes := a.edges * EdgeBytes
+	pages := (adjBytes + PageSize - 1) / PageSize
+	if pad := pages*PageSize - adjBytes; pad > 0 {
+		if _, err := a.w.Write(make([]byte, pad)); err != nil {
+			a.f.Close()
+			return err
+		}
+	}
+	if err := a.w.Flush(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}
+
 // WriteFiles writes both the forward pair (<base>.gr.*) and, when tr is
 // non-nil, the transpose pair (<base>.tgr.*).
 func WriteFiles(c *CSR, tr *CSR, base string) error {

@@ -12,7 +12,7 @@ import (
 func FuzzReadIndex(f *testing.F) {
 	// Seed with a valid index file.
 	dir := f.TempDir()
-	c := Build(64, []uint32{0, 1, 2, 63}, []uint32{1, 2, 3, 0})
+	c := MustBuild(64, []uint32{0, 1, 2, 63}, []uint32{1, 2, 3, 0})
 	valid := filepath.Join(dir, "seed.gr.index")
 	if err := WriteIndex(c, valid); err != nil {
 		f.Fatal(err)

@@ -1,0 +1,57 @@
+package graph
+
+import "fmt"
+
+// EdgeBuffer is the in-memory write buffer of a dynamic graph: edge
+// insertions accumulate here in arrival order until the owner seals the
+// buffer into an immutable sorted segment (a small CSR over the same
+// vertex space, edges in (source, arrival) order — the order Build
+// produces). Sealed segments overlay the base through a View; periodic
+// compaction folds them back in.
+//
+// EdgeBuffer is not safe for concurrent use; the owner serializes Add and
+// Seal (the engine's Dynamic wrapper does so on the coordinator proc).
+type EdgeBuffer struct {
+	n        uint32
+	src, dst []uint32
+}
+
+// NewEdgeBuffer returns an empty buffer over n vertices.
+func NewEdgeBuffer(n uint32) *EdgeBuffer { return &EdgeBuffer{n: n} }
+
+// Add appends one edge, validating both endpoints against the vertex
+// space.
+func (b *EdgeBuffer) Add(s, d uint32) error {
+	if s >= b.n {
+		return fmt.Errorf("graph: insert source %d out of range %d", s, b.n)
+	}
+	if d >= b.n {
+		return fmt.Errorf("graph: insert destination %d out of range %d", d, b.n)
+	}
+	b.src = append(b.src, s)
+	b.dst = append(b.dst, d)
+	return nil
+}
+
+// Len returns the buffered edge count.
+func (b *EdgeBuffer) Len() int { return len(b.src) }
+
+// Edges returns the buffered edge list in arrival order. The slices alias
+// the buffer; callers must not retain them past the next Add or Seal.
+func (b *EdgeBuffer) Edges() (src, dst []uint32) { return b.src, b.dst }
+
+// Seal builds the forward segment and its transpose from the buffered
+// edges and resets the buffer. The forward segment keeps arrival order
+// within each source bucket; the transpose mirrors every edge d→s so an
+// undirected traversal (WCC) sees insertions from both sides. Sealing an
+// empty buffer returns (nil, nil).
+func (b *EdgeBuffer) Seal() (fwd, tr *CSR) {
+	if len(b.src) == 0 {
+		return nil, nil
+	}
+	// Endpoints were validated by Add, so Build cannot fail.
+	fwd = MustBuild(b.n, b.src, b.dst)
+	tr = MustBuild(b.n, b.dst, b.src)
+	b.src, b.dst = nil, nil
+	return fwd, tr
+}

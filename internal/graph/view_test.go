@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestViewOverlaysSegments(t *testing.T) {
+	base := MustBuild(8, []uint32{0, 0, 3}, []uint32{1, 2, 4})
+	v := NewView(base)
+	buf := NewEdgeBuffer(8)
+	for _, e := range [][2]uint32{{0, 5}, {3, 1}, {7, 0}} {
+		if err := buf.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fwd, tr := buf.Seal()
+	if fwd == nil || tr == nil {
+		t.Fatal("Seal of non-empty buffer returned nil")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("buffer not reset after Seal: len=%d", buf.Len())
+	}
+	if err := v.AddSeg(fwd); err != nil {
+		t.Fatal(err)
+	}
+	if v.E() != 6 {
+		t.Errorf("View.E = %d, want 6", v.E())
+	}
+	if v.Degree(0) != 3 || v.Degree(3) != 2 || v.Degree(7) != 1 {
+		t.Errorf("View degrees = %d,%d,%d", v.Degree(0), v.Degree(3), v.Degree(7))
+	}
+	// Base edges first, then segment edges in seal order.
+	if got := v.Neighbors(0); !reflect.DeepEqual(got, []uint32{1, 2, 5}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := v.Neighbors(3); !reflect.DeepEqual(got, []uint32{4, 1}) {
+		t.Errorf("Neighbors(3) = %v", got)
+	}
+	// The transpose segment mirrors every insertion.
+	if got := tr.Neighbors(5); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Errorf("transpose Neighbors(5) = %v", got)
+	}
+}
+
+func TestViewRejectsMismatchedSegment(t *testing.T) {
+	v := NewView(MustBuild(8, nil, nil))
+	if err := v.AddSeg(MustBuild(4, nil, nil)); err == nil {
+		t.Error("segment over a different vertex space accepted")
+	}
+}
+
+func TestSealEmptyBuffer(t *testing.T) {
+	fwd, tr := NewEdgeBuffer(4).Seal()
+	if fwd != nil || tr != nil {
+		t.Error("Seal of empty buffer returned segments")
+	}
+}
+
+func TestEdgeBufferRejectsOutOfRange(t *testing.T) {
+	b := NewEdgeBuffer(4)
+	if err := b.Add(4, 0); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := b.Add(0, 4); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("rejected edges buffered: len=%d", b.Len())
+	}
+}
+
+// Flatten must equal Build over the concatenation (base edges, then each
+// segment's edges in seal order) — the invariant incremental query results
+// are validated against.
+func TestFlattenMatchesRebuild(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	randEdges := func(m int) (src, dst []uint32) {
+		for i := 0; i < m; i++ {
+			src = append(src, uint32(rng.Intn(n)))
+			dst = append(dst, uint32(rng.Intn(n)))
+		}
+		return
+	}
+	bs, bd := randEdges(200)
+	v := NewView(MustBuild(n, bs, bd))
+	allSrc, allDst := append([]uint32{}, bs...), append([]uint32{}, bd...)
+	for seg := 0; seg < 3; seg++ {
+		buf := NewEdgeBuffer(n)
+		ss, sd := randEdges(30)
+		for i := range ss {
+			if err := buf.Add(ss[i], sd[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fwd, _ := buf.Seal()
+		if err := v.AddSeg(fwd); err != nil {
+			t.Fatal(err)
+		}
+		allSrc, allDst = append(allSrc, ss...), append(allDst, sd...)
+	}
+	flat, err := v.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustBuild(n, allSrc, allDst)
+	if flat.E != want.E {
+		t.Fatalf("Flatten E=%d, want %d", flat.E, want.E)
+	}
+	if !bytes.Equal(flat.Adj, want.Adj) {
+		t.Error("Flatten adjacency differs from rebuild over concatenated edges")
+	}
+	if !reflect.DeepEqual(flat.Degrees, want.Degrees) {
+		t.Error("Flatten degrees differ from rebuild")
+	}
+	if !reflect.DeepEqual(flat.PageBegin, want.PageBegin) {
+		t.Error("Flatten page map differs from rebuild")
+	}
+}
+
+func TestFlattenNoSegmentsReturnsBase(t *testing.T) {
+	base := MustBuild(8, []uint32{1}, []uint32{2})
+	flat, err := NewView(base).Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != base {
+		t.Error("Flatten with no segments did not return the base unchanged")
+	}
+}
+
+func TestFlattenRequiresAdjacency(t *testing.T) {
+	v := NewView(NewIndexOnly([]uint32{1, 0}))
+	if _, err := v.Flatten(); err == nil {
+		t.Error("Flatten on index-only base did not error")
+	}
+	v2 := NewView(MustBuild(2, []uint32{0}, []uint32{1}))
+	seg := NewIndexOnly([]uint32{0, 1})
+	if err := v2.AddSeg(seg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Flatten(); err == nil {
+		t.Error("Flatten with index-only segment did not error")
+	}
+}
+
+// AdjWriter's streamed output must be byte-identical to WriteAdj on the
+// same edge order — the property that lets the external-sort ingester emit
+// files interchangeable with the in-memory builder's.
+func TestAdjWriterMatchesWriteAdj(t *testing.T) {
+	c := MustBuild(16, []uint32{0, 0, 1, 5, 5, 5}, []uint32{3, 1, 2, 9, 0, 4})
+	dir := t.TempDir()
+	batch := filepath.Join(dir, "batch.adj")
+	if err := WriteAdj(c, batch); err != nil {
+		t.Fatal(err)
+	}
+	streamed := filepath.Join(dir, "streamed.adj")
+	w, err := NewAdjWriter(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < c.E; i++ {
+		if err := w.WriteEdge(GetEdge(c.Adj, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Edges() != c.E {
+		t.Errorf("AdjWriter.Edges = %d, want %d", w.Edges(), c.E)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("streamed adjacency differs: %d vs %d bytes", len(got), len(want))
+	}
+}

@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blaze/gen"
+	"blaze/internal/graph"
+)
+
+// writeReference builds the four artifact files the in-memory way.
+func writeReference(t *testing.T, n uint32, src, dst []uint32, base string) {
+	t.Helper()
+	c := graph.MustBuild(n, src, dst)
+	if err := graph.WriteFiles(c, c.Transpose(), base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareFiles(t *testing.T, wantBase, gotBase string) {
+	t.Helper()
+	for _, suffix := range []string{".gr.index", ".gr.adj.0", ".tgr.index", ".tgr.adj.0"} {
+		want, err := os.ReadFile(wantBase + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(gotBase + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs from in-memory build (%d vs %d bytes)", suffix, len(got), len(want))
+		}
+	}
+}
+
+// The acceptance property: an external-sort build under a budget far
+// smaller than the edge list produces files byte-identical to
+// graph.Build + Transpose on a Table II preset.
+func TestBuildByteIdenticalOnPreset(t *testing.T) {
+	p, err := gen.PresetByShort("r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.Scaled(20000)
+	src, dst := p.Generate()
+	t.Logf("preset %s: |V|=%d |E|=%d (%d edge bytes)", p.Name, p.V, len(src), len(src)*recBytes)
+
+	dir := t.TempDir()
+	want := filepath.Join(dir, "ref")
+	writeReference(t, p.V, src, dst, want)
+
+	// Budget forces many runs: 4 KiB holds 512 edges; the preset has far
+	// more.
+	if len(src) < 2000 {
+		t.Fatalf("preset too small to stress run formation: %d edges", len(src))
+	}
+	got := filepath.Join(dir, "ext")
+	stats, err := Build(&SliceSource{Src: src, Dst: dst}, got, Config{
+		MaxMemBytes: 4096,
+		TmpDir:      dir,
+		Vertices:    p.V,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs < 2 {
+		t.Fatalf("budget did not force external sort: %d runs", stats.Runs)
+	}
+	if stats.Edges != int64(len(src)) || stats.Vertices != p.V {
+		t.Errorf("stats = %+v", stats)
+	}
+	compareFiles(t, want, got)
+}
+
+// Single-run path (input fits the budget) must also match.
+func TestBuildSingleRun(t *testing.T) {
+	src := []uint32{3, 0, 7, 0, 3, 1}
+	dst := []uint32{1, 5, 0, 2, 0, 1}
+	dir := t.TempDir()
+	want := filepath.Join(dir, "ref")
+	writeReference(t, 8, src, dst, want)
+	got := filepath.Join(dir, "ext")
+	stats, err := Build(&SliceSource{Src: src, Dst: dst}, got, Config{TmpDir: dir, Vertices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 1 {
+		t.Errorf("runs = %d, want 1", stats.Runs)
+	}
+	compareFiles(t, want, got)
+}
+
+// Derived vertex count (maxID+1) with duplicate and self edges.
+func TestBuildDerivesVertexCount(t *testing.T) {
+	src := []uint32{5, 5, 0, 2, 2}
+	dst := []uint32{5, 1, 0, 4, 4}
+	dir := t.TempDir()
+	want := filepath.Join(dir, "ref")
+	writeReference(t, 6, src, dst, want)
+	got := filepath.Join(dir, "ext")
+	stats, err := Build(&SliceSource{Src: src, Dst: dst}, got, Config{MaxMemBytes: recBytes * 2, TmpDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 6 {
+		t.Errorf("derived vertices = %d, want 6", stats.Vertices)
+	}
+	compareFiles(t, want, got)
+}
+
+func TestBuildEmptyInputNeedsExplicitVertices(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Build(&SliceSource{}, filepath.Join(dir, "x"), Config{TmpDir: dir}); err == nil {
+		t.Error("empty input with no vertex count accepted")
+	}
+	// With an explicit count an edgeless graph is valid.
+	stats, err := Build(&SliceSource{}, filepath.Join(dir, "y"), Config{TmpDir: dir, Vertices: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 16 || stats.Edges != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	idx, err := graph.ReadIndex(filepath.Join(dir, "y.gr.index"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.V != 16 || idx.E != 0 {
+		t.Errorf("edgeless index: V=%d E=%d", idx.V, idx.E)
+	}
+}
+
+func TestBuildRejectsEndpointPastVertices(t *testing.T) {
+	dir := t.TempDir()
+	_, err := Build(&SliceSource{Src: []uint32{9}, Dst: []uint32{0}}, filepath.Join(dir, "x"),
+		Config{TmpDir: dir, Vertices: 4})
+	if err == nil {
+		t.Error("endpoint past explicit vertex count accepted")
+	}
+}
+
+func TestVertexCountOverflow(t *testing.T) {
+	// maxID+1 must not wrap to 0.
+	if _, err := VertexCount(math.MaxUint32, true, 0); err == nil {
+		t.Error("maxID = 2^32-1 with derived count accepted (wraps to 0 vertices)")
+	}
+	// Explicit counts past uint32 must not silently truncate.
+	if _, err := VertexCount(0, true, uint64(math.MaxUint32)+1); err == nil {
+		t.Error("vertex count 2^32 accepted (truncates)")
+	}
+	n, err := VertexCount(math.MaxUint32, true, math.MaxUint32)
+	if err == nil {
+		t.Error("endpoint == vertex count accepted")
+	}
+	n, err = VertexCount(7, true, 0)
+	if err != nil || n != 8 {
+		t.Errorf("VertexCount(7, true, 0) = %d, %v", n, err)
+	}
+	n, err = VertexCount(0, false, 5)
+	if err != nil || n != 5 {
+		t.Errorf("VertexCount(0, false, 5) = %d, %v", n, err)
+	}
+}

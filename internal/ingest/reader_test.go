@@ -1,0 +1,121 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, input string) (src, dst []uint32, err error) {
+	t.Helper()
+	r := NewEdgeReader(strings.NewReader(input), "test")
+	for {
+		s, d, ok, e := r.Next()
+		if e != nil {
+			return src, dst, e
+		}
+		if !ok {
+			return src, dst, nil
+		}
+		src = append(src, s)
+		dst = append(dst, d)
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	src, dst, err := readAll(t, "# header\n\n0 1\n   \n# mid\n2 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 2 || src[0] != 0 || dst[0] != 1 || src[1] != 2 || dst[1] != 3 {
+		t.Errorf("parsed %v -> %v", src, dst)
+	}
+}
+
+func TestReaderWhitespaceVariants(t *testing.T) {
+	src, _, err := readAll(t, "  0\t1\n5   6\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 2 {
+		t.Errorf("parsed %d edges, want 2", len(src))
+	}
+}
+
+func TestReaderRejectsMalformedLines(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"one field", "0\n"},
+		{"three fields", "0 1 2\n"},
+		{"trailing junk field", "0 1 weight=3\n"},
+		{"non-numeric", "a b\n"},
+		{"trailing garbage in field", "12abc 3\n"},
+		{"negative source", "-1 3\n"},
+		{"negative destination", "3 -1\n"},
+		{"float", "1.5 2\n"},
+		{"id past uint32", "4294967296 0\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := readAll(t, c.input); err == nil {
+			t.Errorf("%s (%q): accepted", c.name, c.input)
+		} else if !strings.Contains(err.Error(), "test:1") {
+			t.Errorf("%s: error lacks file:line: %v", c.name, err)
+		}
+	}
+}
+
+func TestReaderRejectsOverlongLine(t *testing.T) {
+	long := "0 " + strings.Repeat("1", MaxLineBytes)
+	_, _, err := readAll(t, "4 5\n"+long+"\n")
+	if err == nil {
+		t.Fatal("overlong line accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("overlong line error: %v", err)
+	}
+}
+
+func TestReaderTracksMaxID(t *testing.T) {
+	r := NewEdgeReader(strings.NewReader("0 9\n3 2\n"), "test")
+	if _, any := r.MaxID(); any {
+		t.Error("MaxID reports edges before any read")
+	}
+	for {
+		_, _, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if m, any := r.MaxID(); !any || m != 9 {
+		t.Errorf("MaxID = %d, %v", m, any)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := os.WriteFile(path, []byte("# c\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, dst, n, err := ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(src) != 2 || dst[1] != 2 {
+		t.Errorf("ReadFile: n=%d src=%v dst=%v", n, src, dst)
+	}
+	// Empty list without an explicit count errors instead of silently
+	// producing a 1-vertex graph.
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFile(empty, 0); err == nil {
+		t.Error("empty edge list with no -vertices accepted")
+	}
+	if _, _, n, err := ReadFile(empty, 4); err != nil || n != 4 {
+		t.Errorf("empty list with explicit count: n=%d err=%v", n, err)
+	}
+}

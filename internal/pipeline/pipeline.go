@@ -42,12 +42,15 @@ import (
 // Buffer is one IO buffer: up to a reader's merge cap of device-contiguous
 // pages read from a single device. Start is in the device's own page
 // address space (device-local for striped arrays, logical for engines that
-// address devices by logical page).
+// address devices by logical page). Src tags which graph source the pages
+// came from when one pipeline iterates several sources (a base CSR plus
+// sealed delta segments); single-source engines leave it 0.
 type Buffer struct {
 	Data     []byte
 	Dev      int
 	Start    int64
 	NumPages int
+	Src      int
 }
 
 // ClaimBatch bounds how many queue items batched pipeline procs move per

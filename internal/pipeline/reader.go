@@ -69,6 +69,10 @@ type Reader struct {
 	// Device serves the reads; Dev is the value stamped into Buffer.Dev.
 	Device *ssd.Device
 	Dev    int
+	// Src is stamped into Buffer.Src: the index of the graph source this
+	// reader serves in a multi-source (base + delta segments) pipeline.
+	// Single-source engines leave it 0.
+	Src int
 	// Sched, when non-nil, is the shared-scheduler mode (session
 	// execution): reads route through the per-device iosched.Scheduler —
 	// which coalesces them onto other queries' in-flight reads and paces
@@ -173,6 +177,7 @@ func (r *Reader) Run(io exec.Proc) {
 			tr.Span(trace.OpIOWait, int32(r.Dev), waitFrom, io.Now(), int64(r.Free.Len()))
 		}
 		buf.Dev = r.Dev
+		buf.Src = r.Src
 		buf.Start = pages[i]
 		n, next := r.Merge(pages, i)
 		buf.NumPages = n

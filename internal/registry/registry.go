@@ -183,6 +183,12 @@ type Info struct {
 	// therefore share devices with concurrent queries. Graphene places its
 	// own devices and inmem does no IO; neither can join a session.
 	SessionCapable bool
+	// DynamicCapable marks engines whose EdgeMap iterates Graph.Segs — the
+	// sealed delta segments an engine.Dynamic overlay appends — so queries
+	// observe edge insertions without a rebuild. The sync variant applies
+	// updates inline over its own single-source scan, and the baselines and
+	// inmem walk the base CSR directly; none of them see segments.
+	DynamicCapable bool
 }
 
 var engines = map[string]Info{}
@@ -217,6 +223,13 @@ func SessionCapable(name string) bool {
 	return engines[name].SessionCapable
 }
 
+// DynamicCapable reports whether the named engine iterates a graph's
+// sealed delta segments (engine.Dynamic overlays); unknown names report
+// false.
+func DynamicCapable(name string) bool {
+	return engines[name].DynamicCapable
+}
+
 // SessionNames returns the session-capable engine names, sorted, aliases
 // included.
 func SessionNames() []string {
@@ -241,10 +254,10 @@ func Names() []string {
 }
 
 func init() {
-	Register("blaze", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
+	Register("blaze", Info{SessionCapable: true, DynamicCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return algo.NewBlaze(ctx, o.BlazeConfig())
 	}})
-	Register("blaze-async", Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {
+	Register("blaze-async", Info{SessionCapable: true, DynamicCapable: true, New: func(ctx exec.Context, o Options) algo.System {
 		return algo.NewAsyncBlaze(ctx, o.BlazeConfig())
 	}})
 	sync := Info{SessionCapable: true, New: func(ctx exec.Context, o Options) algo.System {

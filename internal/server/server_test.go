@@ -25,7 +25,7 @@ func testCSR(seed uint64, nEdges int) *graph.CSR {
 		src[i] = uint32(r.Intn(int(n)))
 		dst[i] = uint32(r.Intn(int(n)))
 	}
-	return graph.Build(n, src, dst)
+	return graph.MustBuild(n, src, dst)
 }
 
 // testSession builds a bring-your-own-engine session (Query.Sys nil), so

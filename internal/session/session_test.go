@@ -24,7 +24,7 @@ func testCSR(seed uint64, nEdges int) *graph.CSR {
 		src[i] = uint32(r.Intn(int(n)))
 		dst[i] = uint32(r.Intn(int(n)))
 	}
-	return graph.Build(n, src, dst)
+	return graph.MustBuild(n, src, dst)
 }
 
 // runSession executes q concurrent BFS replicas over a fresh context and

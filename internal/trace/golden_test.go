@@ -39,7 +39,7 @@ func goldenRun(t *testing.T) *trace.Trace {
 		src[i] = uint32(r.Intn(int(n)))
 		dst[i] = uint32(r.Intn(int(n)))
 	}
-	c := graph.Build(n, src, dst)
+	c := graph.MustBuild(n, src, dst)
 
 	ctx := exec.NewSim()
 	g := engine.FromCSR(ctx, "golden", c, 2, ssd.OptaneSSD, nil, nil)
